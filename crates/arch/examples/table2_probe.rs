@@ -1,0 +1,18 @@
+//! Prints the modelled Table II rows next to the paper's published
+//! values — the calibration check for the energy/area models.
+//!
+//! Run with: `cargo run -p daism-arch --release --example table2_probe`
+
+use daism_arch::*;
+
+fn main() {
+    let gemm = vgg8_layers()[0].gemm();
+    for cfg in [DaismConfig::paper_16x8kb(), DaismConfig::paper_16x32kb()] {
+        let m = DaismModel::new(cfg).unwrap();
+        let row = m.table2_row(&gemm).unwrap();
+        let e = m.energy(&gemm).unwrap();
+        println!("{row}   power={:.0}mW pJ/MAC={:.2}", e.avg_power_mw, e.pj_per_mac);
+    }
+    println!("paper:   16x8kB  2.44  3.81  1000  502.52  0.23  205.68");
+    println!("paper:   16x32kB 4.23  6.61  1000 1005.04  0.23  237.55");
+}

@@ -1,0 +1,197 @@
+use crate::config::DaismConfig;
+use daism_energy::{calib, components, SramMacro, TechNode};
+use daism_sram::BankGeometry;
+use std::fmt;
+
+/// On-chip area roll-up (mm² at 45 nm) — the data behind the paper's
+/// Fig. 7 x-axis and Fig. 8 breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaReport {
+    entries: Vec<(String, f64)>,
+}
+
+impl AreaReport {
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.entries.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Area of one named component, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Iterates `(name, mm²)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// SRAM share of total area (banks only, not scratchpads) — the
+    /// quantity Fig. 8 tracks against bank width/count.
+    pub fn sram_fraction(&self) -> f64 {
+        self.get("sram banks").unwrap_or(0.0) / self.total_mm2()
+    }
+
+    /// Non-SRAM ("other digital circuits") area: everything except the
+    /// banks and scratchpads.
+    pub fn digital_mm2(&self) -> f64 {
+        self.iter()
+            .filter(|(n, _)| *n != "sram banks" && *n != "scratchpads")
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Gate-equivalent total area `(low, high)` per the paper's Table II
+    /// normalisation (45 nm factors).
+    pub fn ge_total_mm2(&self) -> (f64, f64) {
+        TechNode::N45.ge_area_mm2(self.total_mm2())
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total {:.3} mm²", self.total_mm2())?;
+        for (name, v) in self.iter() {
+            writeln!(f, "  {name:<18} {v:>8.4} mm²  ({:>5.2}%)", 100.0 * v / self.total_mm2())?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes the area of a DAISM configuration:
+///
+/// * SRAM banks (CACTI-style macro model);
+/// * per-bank periphery: modified address decoder, register file,
+///   control/bus interface (grows with bank count — the paper's "larger
+///   data bus" cost);
+/// * per-PE digital: accumulator + exponent unit (one per column slot);
+/// * input/output scratchpads;
+/// * fixed global overhead (clock, top control, I/O).
+pub fn area(config: &DaismConfig) -> AreaReport {
+    let geom = BankGeometry::square_from_bytes(config.bank_bytes).expect("validated capacity");
+    let bank_macro = SramMacro::new(geom.rows(), geom.cols(), TechNode::N45);
+
+    let sram = config.banks as f64 * bank_macro.area_mm2();
+
+    let rf_bits = 64 * config.format.total_bits(); // 64-entry input RF per bank
+    let per_bank = components::daism_decoder_area_mm2()
+        + components::rf_area_mm2(rf_bits)
+        + components::bank_ctrl_area_mm2();
+    let bank_periphery = config.banks as f64 * per_bank;
+
+    let pes = config.pes() as f64;
+    let pe_digital =
+        pes * (components::accumulator_area_mm2() + components::exponent_unit_area_mm2());
+
+    let spad_mm2 = |kb: usize| {
+        let bits = kb * 1024 * 8;
+        let side = (bits as f64).sqrt().ceil() as usize;
+        SramMacro::new(side.max(1), side.max(1), TechNode::N45).area_mm2()
+    };
+    let scratchpads = spad_mm2(config.input_spad_kb) + spad_mm2(config.output_spad_kb);
+
+    AreaReport {
+        entries: vec![
+            ("sram banks".into(), sram),
+            ("bank periphery".into(), bank_periphery),
+            ("pe digital".into(), pe_digital),
+            ("scratchpads".into(), scratchpads),
+            ("global overhead".into(), calib::GLOBAL_OVERHEAD_MM2),
+        ],
+    }
+}
+
+/// Convenience: the per-PE area split between SRAM and other digital —
+/// the two series of the paper's Fig. 8.
+pub fn per_pe_split(config: &DaismConfig) -> (f64, f64) {
+    let report = area(config);
+    let pes = config.pes() as f64;
+    (report.get("sram banks").unwrap_or(0.0) / pes, report.digital_mm2() / pes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_16x8kb_area_matches_table2() {
+        // Table II: 2.44 mm². Calibration targets ±10%.
+        let a = area(&DaismConfig::paper_16x8kb());
+        let total = a.total_mm2();
+        assert!((total - 2.44).abs() / 2.44 < 0.10, "total {total}");
+    }
+
+    #[test]
+    fn paper_16x32kb_area_matches_table2() {
+        // Table II: 4.23 mm².
+        let a = area(&DaismConfig::paper_16x32kb());
+        let total = a.total_mm2();
+        assert!((total - 4.23).abs() / 4.23 < 0.10, "total {total}");
+    }
+
+    #[test]
+    fn ge_area_matches_table2() {
+        // Table II GE rows: 3.81 and 6.61 mm².
+        let (lo, _) = area(&DaismConfig::paper_16x8kb()).ge_total_mm2();
+        assert!((lo - 3.81).abs() / 3.81 < 0.12, "GE {lo}");
+    }
+
+    #[test]
+    fn wider_banks_become_sram_dominated() {
+        // Fig. 8: "as memory banks get larger, the area becomes dominated
+        // by the SRAM memory".
+        let small = area(&DaismConfig::paper_16x8kb());
+        let big = area(&DaismConfig {
+            bank_bytes: 128 * 1024,
+            ..DaismConfig::paper_16x8kb()
+        });
+        assert!(big.sram_fraction() > small.sram_fraction());
+        assert!(big.sram_fraction() > 0.5);
+    }
+
+    #[test]
+    fn more_banks_become_digital_dominated() {
+        // Fig. 8: "as the number of banks increases, the area becomes
+        // dominated by other digital circuits" (same total capacity).
+        let few = area(&DaismConfig {
+            banks: 4,
+            bank_bytes: 32 * 1024,
+            ..DaismConfig::paper_16x8kb()
+        });
+        let many = area(&DaismConfig {
+            banks: 32,
+            bank_bytes: 4 * 1024,
+            ..DaismConfig::paper_16x8kb()
+        });
+        assert!(many.digital_mm2() / many.total_mm2() > few.digital_mm2() / few.total_mm2());
+    }
+
+    #[test]
+    fn per_pe_split_shapes() {
+        // Doubling bank width quadruples SRAM but only doubles PEs:
+        // per-PE SRAM share grows.
+        let (sram8, _) = per_pe_split(&DaismConfig::paper_16x8kb());
+        let (sram32, _) = per_pe_split(&DaismConfig::paper_16x32kb());
+        assert!(sram32 > 1.5 * sram8);
+    }
+
+    #[test]
+    fn display_and_iteration() {
+        let a = area(&DaismConfig::paper_16x8kb());
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert!(names.contains(&"sram banks"));
+        assert!(a.to_string().contains("mm²"));
+        // Fractions sum to 1.
+        let sum: f64 = a.iter().map(|(_, v)| v).sum();
+        assert!((sum - a.total_mm2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_reuse_as_energy_type() {
+        // AreaReport intentionally mirrors EnergyBreakdown's shape; make
+        // sure they stay independent types (no accidental unification).
+        let _e = daism_energy::EnergyBreakdown::new("x");
+        let a = area(&DaismConfig::paper_16x8kb());
+        assert!(a.get("nonexistent").is_none());
+    }
+}

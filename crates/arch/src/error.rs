@@ -1,0 +1,57 @@
+use daism_core::CoreError;
+use daism_sram::SramError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the architecture model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// The workload's kernel matrix does not fit the configured banks.
+    KernelCapacityExceeded {
+        /// Kernel elements (M × K) required.
+        needed: usize,
+        /// Elements the configuration can store.
+        available: usize,
+    },
+    /// A configuration parameter is invalid.
+    InvalidConfig(String),
+    /// A workload shape is degenerate (zero dimension).
+    InvalidWorkload(String),
+    /// An underlying multiplier/SRAM operation failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::KernelCapacityExceeded { needed, available } => write!(
+                f,
+                "kernel needs {needed} stored elements but the banks hold only {available}"
+            ),
+            ArchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ArchError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            ArchError::Core(e) => write!(f, "datapath error: {e}"),
+        }
+    }
+}
+
+impl Error for ArchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArchError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ArchError {
+    fn from(e: CoreError) -> Self {
+        ArchError::Core(e)
+    }
+}
+
+impl From<SramError> for ArchError {
+    fn from(e: SramError) -> Self {
+        ArchError::Core(CoreError::Sram(e))
+    }
+}

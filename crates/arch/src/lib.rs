@@ -1,0 +1,72 @@
+//! The DAISM accelerator architecture model (paper §IV) and the baselines
+//! it is evaluated against (§V-C).
+//!
+//! DAISM replaces a systolic array with one or more modified SRAM banks:
+//! kernels are flattened and stored as partial-product line groups; each
+//! cycle, every bank feeds one input mantissa to its address decoder and
+//! thereby multiplies that input by *all* kernel elements stored in the
+//! activated group. Accumulators and exponent handlers sit under the
+//! columns; inputs stream from a scratchpad through per-bank register
+//! files.
+//!
+//! This crate provides:
+//!
+//! * [`ConvLayer`]/[`GemmShape`] — workload descriptors (including the
+//!   paper's VGG-8 whose first layer drives Fig. 7);
+//! * [`DaismConfig`] — bank count/size, data type, multiplier config,
+//!   clock, scratchpads — with the derived geometry (groups, slots, PEs);
+//! * [`map_gemm`]/[`Mapping`] — the segment mapper (which kernel-matrix
+//!   columns go to which bank), static or balanced;
+//! * [`DaismModel`] — cycles/utilization ([`PerfReport`]), energy
+//!   ([`ArchEnergyReport`]) and area ([`AreaReport`]) for a workload,
+//!   composed from `daism-energy` components — the Accelergy/Timeloop
+//!   replacement;
+//! * [`EyerissModel`] — an Eyeriss-style row-stationary baseline built
+//!   from the *same* component library, so Fig. 7 comparisons are
+//!   apples-to-apples;
+//! * [`pim_refs`] — the published Z-PIM / T-PIM datapoints of Table II;
+//! * [`FunctionalDaism`] — a functional multi-bank datapath that executes
+//!   real GEMMs through the bit-level SRAM model, validating that the
+//!   analytical cycle counts match what the hardware would actually do.
+//!
+//! # Example
+//!
+//! ```
+//! use daism_arch::{vgg8_layers, DaismConfig, DaismModel};
+//!
+//! // The paper's headline configuration: 16 banks of 8 kB.
+//! let cfg = DaismConfig::paper_16x8kb();
+//! let model = DaismModel::new(cfg)?;
+//! let layer1 = vgg8_layers()[0].gemm();
+//! let perf = model.perf(&layer1)?;
+//! assert!(perf.utilization > 0.9);
+//! # Ok::<(), daism_arch::ArchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod config;
+mod energy;
+mod error;
+mod eyeriss;
+mod functional;
+mod mapper;
+mod model;
+mod perf;
+pub mod pim_refs;
+mod tiling;
+mod workload;
+
+pub use area::{area, per_pe_split, AreaReport};
+pub use config::{DaismConfig, MapperKind};
+pub use energy::{energy_gemm, ArchEnergyReport};
+pub use error::ArchError;
+pub use eyeriss::{EyerissConfig, EyerissModel, EyerissPerf};
+pub use functional::FunctionalDaism;
+pub use mapper::{map_gemm, Mapping};
+pub use model::{DaismModel, Evaluation, Table2Row};
+pub use perf::{simulate_gemm, PerfReport};
+pub use tiling::{simulate_tiled, TiledRun};
+pub use workload::{vgg8_layers, ConvLayer, GemmShape};

@@ -1,0 +1,183 @@
+use crate::config::DaismConfig;
+use crate::error::ArchError;
+use crate::workload::GemmShape;
+
+/// The placement of a GEMM's kernel matrix onto the banks.
+///
+/// Each column `k` of `W[M×K]` is cut into `ceil(M / slots)` *segments*
+/// of up to `slots` elements; a segment occupies one wordline group and
+/// is multiplied by input `x[k, p]` once per output position `p`. All
+/// elements of a segment share that input — which is why a segment can
+/// only hold elements from a single `k` and why partially-filled
+/// segments waste utilization (the paper's single-bank problem).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// Segment count per bank (index = bank).
+    pub per_bank_segments: Vec<usize>,
+    /// Total segments `S = K · ceil(M / slots)`.
+    pub segments: usize,
+    /// Kernel elements stored (`M·K`).
+    pub elements: usize,
+    /// Slots per segment (the bank's slots-per-group).
+    pub slots: usize,
+    /// Distinct `(k, bank)` pairs — the scratchpad→register-file input
+    /// deliveries needed per output position.
+    pub input_deliveries_per_position: usize,
+    /// Elements in the last (possibly partial) segment of each column.
+    pub tail_elements: usize,
+}
+
+impl Mapping {
+    /// The heaviest bank's segment count (sets static-mapper cycles).
+    pub fn max_segments_per_bank(&self) -> usize {
+        self.per_bank_segments.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average slot occupancy over all segments (1.0 = every activated
+    /// group is full).
+    pub fn occupancy(&self) -> f64 {
+        if self.segments == 0 {
+            0.0
+        } else {
+            self.elements as f64 / (self.segments * self.slots) as f64
+        }
+    }
+}
+
+/// Maps `gemm`'s kernel matrix onto `config`'s banks.
+///
+/// Segments are dealt round-robin (bank `i` gets segments `i, i+B,
+/// i+2B, …`), which both the static and balanced schedulers share as the
+/// storage layout; they differ only in cycle accounting.
+///
+/// # Errors
+///
+/// Returns [`ArchError::KernelCapacityExceeded`] if the kernel matrix
+/// does not fit (the paper pre-loads the whole kernel; streaming reloads
+/// are out of scope for the evaluation).
+pub fn map_gemm(config: &DaismConfig, gemm: &GemmShape) -> Result<Mapping, ArchError> {
+    config.validate()?;
+    let slots = config.slots_per_bank();
+    let groups = config.groups_per_bank();
+    let banks = config.banks;
+
+    let segments_per_column = gemm.m.div_ceil(slots);
+    let segments = gemm.k * segments_per_column;
+    if segments > groups * banks {
+        return Err(ArchError::KernelCapacityExceeded {
+            needed: gemm.kernel_elements(),
+            available: groups * banks * slots,
+        });
+    }
+
+    let mut per_bank_segments = vec![0usize; banks];
+    // Track distinct k per bank for input-delivery accounting.
+    let mut last_k_seen: Vec<Option<usize>> = vec![None; banks];
+    let mut deliveries = 0usize;
+    for s in 0..segments {
+        let bank = s % banks;
+        per_bank_segments[bank] += 1;
+        let k = s / segments_per_column;
+        if last_k_seen[bank] != Some(k) {
+            deliveries += 1;
+            last_k_seen[bank] = Some(k);
+        }
+    }
+
+    let tail = gemm.m - (segments_per_column - 1) * slots;
+    Ok(Mapping {
+        per_bank_segments,
+        segments,
+        elements: gemm.kernel_elements(),
+        slots,
+        input_deliveries_per_position: deliveries,
+        tail_elements: tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DaismConfig;
+    use crate::workload::vgg8_layers;
+
+    #[test]
+    fn vgg8_layer1_on_16x8kb() {
+        let cfg = DaismConfig::paper_16x8kb();
+        let gemm = vgg8_layers()[0].gemm();
+        let m = map_gemm(&cfg, &gemm).unwrap();
+        // 27 columns x ceil(64/16)=4 segments = 108, all full.
+        assert_eq!(m.segments, 108);
+        assert_eq!(m.occupancy(), 1.0);
+        assert_eq!(m.max_segments_per_bank(), 7); // ceil(108/16)
+        assert_eq!(m.tail_elements, 16);
+    }
+
+    #[test]
+    fn vgg8_layer1_on_16x32kb() {
+        let cfg = DaismConfig::paper_16x32kb();
+        let gemm = vgg8_layers()[0].gemm();
+        let m = map_gemm(&cfg, &gemm).unwrap();
+        // 32 slots: 2 segments per column, 54 total.
+        assert_eq!(m.segments, 54);
+        assert_eq!(m.occupancy(), 1.0);
+        assert_eq!(m.max_segments_per_bank(), 4);
+    }
+
+    #[test]
+    fn single_bank_low_occupancy_case() {
+        // §V-C2: a 512 kB single bank can only use 128 kernel elements at
+        // a time, and a 64-row output-channel column fills only half a
+        // group.
+        let cfg = DaismConfig::paper_1x512kb();
+        let gemm = vgg8_layers()[0].gemm();
+        let m = map_gemm(&cfg, &gemm).unwrap();
+        assert_eq!(m.slots, 128);
+        assert_eq!(m.segments, 27); // one (half-full) segment per column
+        assert_eq!(m.occupancy(), 0.5);
+    }
+
+    #[test]
+    fn capacity_exceeded_detected() {
+        let cfg = DaismConfig::paper_16x8kb();
+        // 16x8kB holds 8192 elements; ask for more.
+        let gemm = GemmShape::new(64, 200, 10).unwrap(); // 12800 elements
+        assert!(matches!(
+            map_gemm(&cfg, &gemm),
+            Err(ArchError::KernelCapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn round_robin_is_balanced_within_one() {
+        let cfg = DaismConfig::paper_16x8kb();
+        // 23 columns x ceil(50/16) = 92 segments over 16 banks.
+        let gemm = GemmShape::new(50, 23, 100).unwrap();
+        let m = map_gemm(&cfg, &gemm).unwrap();
+        let min = m.per_bank_segments.iter().min().unwrap();
+        let max = m.per_bank_segments.iter().max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(m.per_bank_segments.iter().sum::<usize>(), m.segments);
+    }
+
+    #[test]
+    fn input_deliveries_bounded() {
+        let cfg = DaismConfig::paper_16x8kb();
+        let gemm = vgg8_layers()[0].gemm();
+        let m = map_gemm(&cfg, &gemm).unwrap();
+        // At most one delivery per segment, at least one per k-column.
+        assert!(m.input_deliveries_per_position >= gemm.k);
+        assert!(m.input_deliveries_per_position <= m.segments);
+    }
+
+    #[test]
+    fn partial_tail_segment_occupancy() {
+        let cfg = DaismConfig::paper_16x8kb(); // 16 slots
+        let gemm = GemmShape::new(20, 4, 10).unwrap(); // M=20: 16+4
+        let m = map_gemm(&cfg, &gemm).unwrap();
+        assert_eq!(m.segments, 8);
+        assert_eq!(m.tail_elements, 4);
+        let expect = 80.0 / (8.0 * 16.0);
+        assert!((m.occupancy() - expect).abs() < 1e-12);
+    }
+}

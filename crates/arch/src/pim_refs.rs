@@ -1,0 +1,127 @@
+//! Published datapoints for the SRAM digital-PIM comparators of the
+//! paper's Table II.
+//!
+//! Z-PIM (Kim et al., JSSC'21) and T-PIM (Heo et al., JSSC'23) are
+//! fabricated chips; the paper compares against their published numbers,
+//! and so do we — these rows are *citations*, not model output. Ranges
+//! follow the table's footnotes (sparsity-dependent operating points).
+
+use daism_energy::TechNode;
+use std::fmt;
+
+/// One published processing-in-memory chip row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PimChip {
+    /// Chip name.
+    pub name: &'static str,
+    /// Technology node.
+    pub node: TechNode,
+    /// Die/macro area in mm².
+    pub area_mm2: f64,
+    /// Computation style (bit-serial for both comparators).
+    pub computation: &'static str,
+    /// Clock range in MHz `(low, high)`.
+    pub clock_mhz: (f64, f64),
+    /// Supply range in V `(low, high)`.
+    pub supply_v: (f64, f64),
+    /// Throughput range in GOPS `(low, high)`.
+    pub gops: (f64, f64),
+    /// Efficiency range in GOPS/mW `(low, high)`.
+    pub gops_per_mw: (f64, f64),
+    /// Area efficiency range in GOPS/mm² `(low, high)`.
+    pub gops_per_mm2: (f64, f64),
+    /// Footnote describing the operating-point dependence.
+    pub note: &'static str,
+}
+
+impl PimChip {
+    /// Gate-equivalent area range per the paper's normalisation.
+    pub fn ge_area_mm2(&self) -> (f64, f64) {
+        self.node.ge_area_mm2(self.area_mm2)
+    }
+}
+
+impl fmt::Display for PimChip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {:.2} mm², {}): {:.2}-{:.2} GOPS, {:.2}-{:.2} GOPS/mm²",
+            self.name,
+            self.node,
+            self.area_mm2,
+            self.computation,
+            self.gops.0,
+            self.gops.1,
+            self.gops_per_mm2.0,
+            self.gops_per_mm2.1
+        )
+    }
+}
+
+/// Z-PIM — "a sparsity-aware processing-in-memory architecture with fully
+/// variable weight bit-precision", 65 nm. Throughput varies with weight
+/// sparsity 0.1–0.9 (Table II footnote ∗).
+pub fn zpim() -> PimChip {
+    PimChip {
+        name: "Z-PIM",
+        node: TechNode::N65,
+        area_mm2: 7.57,
+        computation: "bit-serial",
+        clock_mhz: (200.0, 200.0),
+        supply_v: (1.0, 1.0),
+        gops: (1.52, 16.0),
+        gops_per_mw: (0.31, 3.07),
+        gops_per_mm2: (0.53, 5.31),
+        note: "varies with weight sparsity (0.1-0.9)",
+    }
+}
+
+/// T-PIM — "an energy-efficient processing-in-memory accelerator for
+/// end-to-end on-device training", 28 nm. GOPS measured at input
+/// sparsity 0.9, weight sparsity 0.5 (footnote †); efficiency varies
+/// with input sparsity (footnote ‡).
+pub fn tpim() -> PimChip {
+    PimChip {
+        name: "T-PIM",
+        node: TechNode::N28,
+        area_mm2: 5.04,
+        computation: "bit-serial",
+        clock_mhz: (50.0, 280.0),
+        supply_v: (0.75, 1.05),
+        gops: (5.56, 5.56),
+        gops_per_mw: (0.13, 1.26),
+        gops_per_mm2: (1.1, 1.1),
+        note: "measured at input sparsity 0.9, weight sparsity 0.5",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zpim_ge_area_matches_table2() {
+        let (lo, hi) = zpim().ge_area_mm2();
+        assert!((lo - 5.91).abs() < 0.02, "{lo}");
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn tpim_ge_area_matches_table2() {
+        let (lo, hi) = tpim().ge_area_mm2();
+        assert!((lo - 15.51).abs() < 0.05, "{lo}");
+        assert!((hi - 24.83).abs() < 0.05, "{hi}");
+    }
+
+    #[test]
+    fn both_are_bit_serial() {
+        assert_eq!(zpim().computation, "bit-serial");
+        assert_eq!(tpim().computation, "bit-serial");
+    }
+
+    #[test]
+    fn display_rows() {
+        assert!(zpim().to_string().contains("Z-PIM"));
+        assert!(tpim().to_string().contains("28nm"));
+    }
+}

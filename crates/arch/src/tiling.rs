@@ -1,0 +1,160 @@
+use crate::config::DaismConfig;
+use crate::energy::{energy_from_mapping, ArchEnergyReport};
+use crate::error::ArchError;
+use crate::mapper::map_gemm;
+use crate::perf::{perf_from_mapping, PerfReport};
+use crate::workload::GemmShape;
+
+/// A GEMM split into kernel tiles that each fit the banks.
+///
+/// The paper evaluates only VGG-8's first layer, whose 1,728 kernel
+/// elements fit every configuration. Deeper layers do not (conv2 alone
+/// needs 73,728); this extension splits the `K` dimension into tiles,
+/// re-programming the banks between tiles and accumulating partial sums
+/// in the output scratchpad. Cycles and energy are the sums over tiles
+/// (each tile pays its own pre-load — the reuse argument of §V-B2 still
+/// amortises it, because each tile is reused across all `N` positions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledRun {
+    /// Number of kernel tiles (1 = no tiling needed).
+    pub tiles: usize,
+    /// Aggregated performance (cycles summed, utilization averaged).
+    pub perf: PerfReport,
+    /// Aggregated energy.
+    pub energy: ArchEnergyReport,
+}
+
+/// Splits `gemm` over the `K` dimension into the fewest tiles that fit
+/// `config`, and aggregates performance/energy across them.
+///
+/// # Errors
+///
+/// Returns [`ArchError::KernelCapacityExceeded`] only if even a single
+/// kernel column does not fit (i.e. `M` itself overflows the groups).
+pub fn simulate_tiled(config: &DaismConfig, gemm: &GemmShape) -> Result<TiledRun, ArchError> {
+    config.validate()?;
+    let slots = config.slots_per_bank();
+    let total_groups = config.groups_per_bank() * config.banks;
+    let segments_per_column = gemm.m.div_ceil(slots);
+    if segments_per_column > total_groups {
+        return Err(ArchError::KernelCapacityExceeded {
+            needed: gemm.m,
+            available: total_groups * slots,
+        });
+    }
+    let columns_per_tile = (total_groups / segments_per_column).min(gemm.k).max(1);
+    let tiles = gemm.k.div_ceil(columns_per_tile);
+
+    let mut total_cycles = 0u64;
+    let mut total_preload = 0u64;
+    let mut total_macs = 0u64;
+    let mut total_pj = 0.0f64;
+    let mut breakdown = daism_energy::EnergyBreakdown::new(format!(
+        "{gemm} tiled on {}",
+        config.short_name()
+    ));
+    let mut k_done = 0usize;
+    while k_done < gemm.k {
+        let k_tile = columns_per_tile.min(gemm.k - k_done);
+        let tile = GemmShape::new(gemm.m, k_tile, gemm.n)?;
+        let mapping = map_gemm(config, &tile)?;
+        let perf = perf_from_mapping(config, &tile, &mapping);
+        let energy = energy_from_mapping(config, &tile, &mapping, &perf);
+        total_cycles += perf.compute_cycles;
+        total_preload += perf.preload_cycles;
+        total_macs += perf.macs;
+        total_pj += energy.total_pj;
+        breakdown.merge(&energy.breakdown);
+        k_done += k_tile;
+    }
+
+    let cycles = total_cycles + total_preload;
+    let seconds = cycles as f64 / (config.clock_mhz * 1e6);
+    let gops = 2.0 * total_macs as f64 / seconds / 1e9;
+    let avg_power_mw = total_pj / (seconds * 1e9);
+    let perf = PerfReport {
+        compute_cycles: total_cycles,
+        preload_cycles: total_preload,
+        total_cycles: cycles,
+        macs: total_macs,
+        utilization: total_macs as f64 / (total_cycles.max(1) * config.pes() as u64) as f64,
+        gops,
+        latency_us: seconds * 1e6,
+    };
+    let energy = ArchEnergyReport {
+        breakdown,
+        total_pj,
+        avg_power_mw,
+        gops_per_mw: gops / avg_power_mw,
+        pj_per_mac: total_pj / total_macs.max(1) as f64,
+    };
+    Ok(TiledRun { tiles, perf, energy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::vgg8_layers;
+
+    #[test]
+    fn layer1_needs_one_tile_and_matches_untiled() {
+        let cfg = DaismConfig::paper_16x8kb();
+        let gemm = vgg8_layers()[0].gemm();
+        let tiled = simulate_tiled(&cfg, &gemm).unwrap();
+        assert_eq!(tiled.tiles, 1);
+        let untiled = crate::perf::simulate_gemm(&cfg, &gemm).unwrap();
+        assert_eq!(tiled.perf.total_cycles, untiled.total_cycles);
+        assert_eq!(tiled.perf.macs, untiled.macs);
+    }
+
+    #[test]
+    fn deep_layers_tile_and_complete() {
+        let cfg = DaismConfig::paper_16x8kb();
+        for layer in vgg8_layers().iter().skip(1) {
+            let gemm = layer.gemm();
+            let run = simulate_tiled(&cfg, &gemm).unwrap();
+            assert!(run.tiles > 1, "{} should need tiling", layer.name);
+            assert_eq!(run.perf.macs, gemm.macs());
+            assert!(run.perf.utilization > 0.5, "{}: util {}", layer.name, run.perf.utilization);
+        }
+    }
+
+    #[test]
+    fn tiling_preload_stays_small() {
+        // Reuse across N amortises even repeated pre-loads (§V-B2's
+        // argument extended to tiling).
+        let cfg = DaismConfig::paper_16x8kb();
+        let gemm = vgg8_layers()[1].gemm(); // conv2: 73,728 elements
+        let run = simulate_tiled(&cfg, &gemm).unwrap();
+        assert!(
+            (run.perf.preload_cycles as f64) < 0.05 * run.perf.compute_cycles as f64,
+            "preload {} vs compute {}",
+            run.perf.preload_cycles,
+            run.perf.compute_cycles
+        );
+    }
+
+    #[test]
+    fn oversized_m_is_rejected() {
+        // M so large that one column cannot fit any configuration.
+        let cfg = DaismConfig { banks: 1, bank_bytes: 2048, ..DaismConfig::paper_16x8kb() };
+        let gemm = GemmShape::new(100_000, 1, 1).unwrap();
+        assert!(matches!(
+            simulate_tiled(&cfg, &gemm),
+            Err(ArchError::KernelCapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn energy_scales_with_tiles() {
+        let cfg = DaismConfig::paper_16x8kb();
+        let l1 = simulate_tiled(&cfg, &vgg8_layers()[0].gemm()).unwrap();
+        let l2 = simulate_tiled(&cfg, &vgg8_layers()[1].gemm()).unwrap();
+        // conv2 has ~21x the MACs of conv1; energy should scale roughly
+        // with MACs, not with tiles.
+        let ratio = l2.energy.total_pj / l1.energy.total_pj;
+        let mac_ratio =
+            vgg8_layers()[1].macs() as f64 / vgg8_layers()[0].macs() as f64;
+        assert!((ratio / mac_ratio - 1.0).abs() < 0.35, "energy ratio {ratio} vs mac ratio {mac_ratio}");
+    }
+}

@@ -1,0 +1,265 @@
+use crate::error::ArchError;
+use std::fmt;
+
+/// A 2-D convolution layer, described the way the paper's evaluation
+/// needs it (shape only; weights live in `daism-dnn`).
+///
+/// # Examples
+///
+/// ```
+/// use daism_arch::vgg8_layers;
+///
+/// // Paper §V-B2/§V-C2: VGG-8's first layer has 150,528 inputs and
+/// // 1,728 kernel elements.
+/// let l1 = &vgg8_layers()[0];
+/// assert_eq!(l1.input_count(), 150_528);
+/// assert_eq!(l1.kernel_elements(), 1_728);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    /// Human-readable layer name.
+    pub name: String,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels (number of filters).
+    pub out_ch: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvLayer {
+    /// Builds a layer, validating that no dimension is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidWorkload`] for degenerate shapes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        in_h: usize,
+        in_w: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, ArchError> {
+        let layer = ConvLayer {
+            name: name.into(),
+            in_ch,
+            out_ch,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            in_h,
+            in_w,
+            stride,
+            padding,
+        };
+        if in_ch == 0 || out_ch == 0 || kernel == 0 || in_h == 0 || in_w == 0 || stride == 0 {
+            return Err(ArchError::InvalidWorkload(format!(
+                "layer {} has a zero dimension",
+                layer.name
+            )));
+        }
+        if layer.out_h() == 0 || layer.out_w() == 0 {
+            return Err(ArchError::InvalidWorkload(format!(
+                "layer {} produces an empty output map",
+                layer.name
+            )));
+        }
+        Ok(layer)
+    }
+
+    /// Output feature-map height (0 if the kernel does not fit).
+    pub fn out_h(&self) -> usize {
+        let span = self.in_h + 2 * self.padding;
+        if span < self.kernel_h {
+            0
+        } else {
+            (span - self.kernel_h) / self.stride + 1
+        }
+    }
+
+    /// Output feature-map width (0 if the kernel does not fit).
+    pub fn out_w(&self) -> usize {
+        let span = self.in_w + 2 * self.padding;
+        if span < self.kernel_w {
+            0
+        } else {
+            (span - self.kernel_w) / self.stride + 1
+        }
+    }
+
+    /// Total input elements (`C_in × H × W`).
+    pub fn input_count(&self) -> usize {
+        self.in_ch * self.in_h * self.in_w
+    }
+
+    /// Total kernel elements (`C_out × C_in × K_h × K_w`).
+    pub fn kernel_elements(&self) -> usize {
+        self.out_ch * self.in_ch * self.kernel_h * self.kernel_w
+    }
+
+    /// The im2col GEMM this layer lowers to:
+    /// `W[M×K] · X[K×N]` with `M = C_out`, `K = C_in·K_h·K_w`,
+    /// `N = H_out·W_out`.
+    pub fn gemm(&self) -> GemmShape {
+        GemmShape {
+            m: self.out_ch,
+            k: self.in_ch * self.kernel_h * self.kernel_w,
+            n: self.out_h() * self.out_w(),
+        }
+    }
+
+    /// Multiply-accumulate count.
+    pub fn macs(&self) -> u64 {
+        self.gemm().macs()
+    }
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x{}x{} -> {} ch, {}x{} kernel, stride {}, pad {}",
+            self.name,
+            self.in_ch,
+            self.in_h,
+            self.in_w,
+            self.out_ch,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.padding
+        )
+    }
+}
+
+/// A GEMM `W[M×K] · X[K×N]` — the shape the mapper and performance model
+/// operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of the kernel matrix (output channels).
+    pub m: usize,
+    /// Inner dimension (kernel elements per output channel).
+    pub k: usize,
+    /// Columns of the input matrix (output positions).
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape, validating that no dimension is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidWorkload`] for degenerate shapes.
+    pub fn new(m: usize, k: usize, n: usize) -> Result<Self, ArchError> {
+        if m == 0 || k == 0 || n == 0 {
+            return Err(ArchError::InvalidWorkload(format!("degenerate GEMM {m}x{k}x{n}")));
+        }
+        Ok(GemmShape { m, k, n })
+    }
+
+    /// Multiply-accumulate count (`M·K·N`).
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+
+    /// Kernel-matrix elements that must be stored (`M·K`).
+    pub fn kernel_elements(&self) -> usize {
+        self.m * self.k
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W[{}x{}]·X[{}x{}]", self.m, self.k, self.k, self.n)
+    }
+}
+
+/// The VGG-8 network used by the paper's architecture evaluation
+/// (§V-C1): five 3×3 convolution layers on 224×224 ImageNet-shaped
+/// inputs, max-pooled between stages (the three FC layers are not
+/// mapped onto DAISM in the paper and are omitted here).
+///
+/// Layer 1 is the workload of Fig. 7 and Table II: 150,528 inputs,
+/// 1,728 kernel elements.
+pub fn vgg8_layers() -> Vec<ConvLayer> {
+    vec![
+        ConvLayer::new("conv1", 3, 64, 3, 224, 224, 1, 1).expect("valid layer"),
+        ConvLayer::new("conv2", 64, 128, 3, 112, 112, 1, 1).expect("valid layer"),
+        ConvLayer::new("conv3", 128, 256, 3, 56, 56, 1, 1).expect("valid layer"),
+        ConvLayer::new("conv4", 256, 512, 3, 28, 28, 1, 1).expect("valid layer"),
+        ConvLayer::new("conv5", 512, 512, 3, 14, 14, 1, 1).expect("valid layer"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg8_layer1_matches_paper_numbers() {
+        let l1 = &vgg8_layers()[0];
+        // §V-B2: "The first layer of VGG-8 has 150,528 inputs for 1728
+        // kernel elements."
+        assert_eq!(l1.input_count(), 150_528);
+        assert_eq!(l1.kernel_elements(), 1_728);
+        let g = l1.gemm();
+        assert_eq!(g.m, 64);
+        assert_eq!(g.k, 27);
+        assert_eq!(g.n, 224 * 224);
+        assert_eq!(g.macs(), 64 * 27 * 224 * 224);
+    }
+
+    #[test]
+    fn output_dims_with_padding_and_stride() {
+        let l = ConvLayer::new("t", 3, 8, 3, 32, 32, 2, 1).unwrap();
+        assert_eq!(l.out_h(), 16);
+        assert_eq!(l.out_w(), 16);
+        let l = ConvLayer::new("t", 3, 8, 5, 32, 32, 1, 0).unwrap();
+        assert_eq!(l.out_h(), 28);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(ConvLayer::new("t", 0, 8, 3, 32, 32, 1, 1).is_err());
+        assert!(ConvLayer::new("t", 3, 8, 3, 32, 32, 0, 1).is_err());
+        assert!(GemmShape::new(0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn too_small_input_rejected() {
+        // 2x2 input with a 5x5 kernel and no padding: empty output.
+        assert!(ConvLayer::new("t", 3, 8, 5, 2, 2, 1, 0).is_err());
+    }
+
+    #[test]
+    fn gemm_display() {
+        let g = GemmShape::new(64, 27, 100).unwrap();
+        assert_eq!(g.to_string(), "W[64x27]·X[27x100]");
+        assert_eq!(g.kernel_elements(), 1728);
+    }
+
+    #[test]
+    fn all_vgg8_layers_valid() {
+        let layers = vgg8_layers();
+        assert_eq!(layers.len(), 5);
+        for l in &layers {
+            assert!(l.macs() > 0);
+        }
+        // Feature maps shrink through the pooling stages.
+        assert_eq!(layers[1].in_h, 112);
+        assert_eq!(layers[4].in_h, 14);
+    }
+}

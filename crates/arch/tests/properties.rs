@@ -1,0 +1,117 @@
+//! Property-based tests for the mapper and performance model.
+
+use daism_arch::{map_gemm, simulate_gemm, simulate_tiled, DaismConfig, GemmShape, MapperKind};
+use daism_core::MultiplierConfig;
+use daism_num::FpFormat;
+use proptest::prelude::*;
+
+fn small_config() -> impl Strategy<Value = DaismConfig> {
+    (1usize..=8, prop::sample::select(vec![2usize, 8, 32]))
+        .prop_map(|(banks, kb)| {
+            DaismConfig::new(
+                banks,
+                kb * 1024,
+                FpFormat::BF16,
+                MultiplierConfig::PC3_TR,
+                1000.0,
+            )
+        })
+}
+
+fn small_gemm() -> impl Strategy<Value = GemmShape> {
+    (1usize..48, 1usize..24, 1usize..200)
+        .prop_map(|(m, k, n)| GemmShape::new(m, k, n).expect("non-degenerate"))
+}
+
+proptest! {
+    #[test]
+    fn mapping_conserves_segments_and_elements(
+        cfg in small_config(),
+        gemm in small_gemm(),
+    ) {
+        let Ok(mapping) = map_gemm(&cfg, &gemm) else { return Ok(()); };
+        // Segments distributed without loss.
+        prop_assert_eq!(
+            mapping.per_bank_segments.iter().sum::<usize>(),
+            mapping.segments
+        );
+        // Round-robin balance: max-min <= 1.
+        let max = mapping.per_bank_segments.iter().max().unwrap();
+        let min = mapping.per_bank_segments.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+        // Segment capacity covers the kernel elements.
+        prop_assert!(mapping.segments * mapping.slots >= gemm.kernel_elements());
+        // Occupancy in (0, 1].
+        prop_assert!(mapping.occupancy() > 0.0 && mapping.occupancy() <= 1.0);
+    }
+
+    #[test]
+    fn perf_invariants(
+        cfg in small_config(),
+        gemm in small_gemm(),
+    ) {
+        let Ok(perf) = simulate_gemm(&cfg, &gemm) else { return Ok(()); };
+        prop_assert!(perf.utilization > 0.0 && perf.utilization <= 1.0 + 1e-12);
+        prop_assert!(perf.gops <= cfg.peak_gops() * (1.0 + 1e-9));
+        prop_assert_eq!(perf.macs, gemm.macs());
+        prop_assert_eq!(perf.total_cycles, perf.compute_cycles + perf.preload_cycles);
+        // Work conservation: cycles x PEs >= MACs.
+        prop_assert!(perf.compute_cycles * cfg.pes() as u64 >= perf.macs);
+    }
+
+    #[test]
+    fn static_mapper_never_faster(
+        cfg in small_config(),
+        gemm in small_gemm(),
+    ) {
+        let balanced = cfg.clone().with_mapper(MapperKind::Balanced);
+        let static_ = cfg.with_mapper(MapperKind::Static);
+        let (Ok(b), Ok(s)) = (simulate_gemm(&balanced, &gemm), simulate_gemm(&static_, &gemm))
+        else {
+            return Ok(());
+        };
+        prop_assert!(s.compute_cycles >= b.compute_cycles);
+        // Static is at most one extra round per position worse.
+        prop_assert!(s.compute_cycles <= b.compute_cycles + gemm.n as u64);
+    }
+
+    #[test]
+    fn tiled_runs_complete_any_shape(
+        cfg in small_config(),
+        gemm in small_gemm(),
+    ) {
+        // Tiling must handle every shape whose M fits the groups.
+        match simulate_tiled(&cfg, &gemm) {
+            Ok(run) => {
+                prop_assert_eq!(run.perf.macs, gemm.macs());
+                prop_assert!(run.tiles >= 1);
+                prop_assert!(run.perf.utilization <= 1.0 + 1e-12);
+                // Tiling never helps a shape that fits whole.
+                if run.tiles == 1 {
+                    let untiled = simulate_gemm(&cfg, &gemm).unwrap();
+                    prop_assert_eq!(run.perf.total_cycles, untiled.total_cycles);
+                }
+            }
+            Err(_) => {
+                // Only legitimate failure: one kernel column overflows
+                // the whole machine.
+                let slots = cfg.slots_per_bank();
+                let groups = cfg.groups_per_bank() * cfg.banks;
+                prop_assert!(gemm.m.div_ceil(slots) > groups);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_positive_and_consistent(
+        gemm in small_gemm(),
+    ) {
+        let cfg = DaismConfig::paper_16x8kb();
+        let Ok(report) = daism_arch::energy_gemm(&cfg, &gemm) else { return Ok(()); };
+        prop_assert!(report.total_pj > 0.0);
+        prop_assert!(report.pj_per_mac > 0.0);
+        prop_assert!(report.avg_power_mw > 0.0);
+        // Breakdown total equals report total.
+        prop_assert!((report.breakdown.total_pj() - report.total_pj).abs() < 1e-6 * report.total_pj);
+    }
+}

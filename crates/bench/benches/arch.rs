@@ -1,0 +1,31 @@
+//! Cost of the analytical architecture model itself (mapping + perf +
+//! energy + area roll-up) and of the experiment regenerators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use daism_arch::{map_gemm, vgg8_layers, DaismConfig, DaismModel};
+
+fn model_evaluation(c: &mut Criterion) {
+    let gemm = vgg8_layers()[0].gemm();
+    let model = DaismModel::new(DaismConfig::paper_16x8kb()).unwrap();
+    c.bench_function("daism_model_evaluate_vgg8l1", |b| {
+        b.iter(|| black_box(model.evaluate(black_box(&gemm)).unwrap()))
+    });
+}
+
+fn mapper(c: &mut Criterion) {
+    let cfg = DaismConfig::paper_16x8kb();
+    let gemm = vgg8_layers()[0].gemm();
+    c.bench_function("map_gemm_vgg8l1", |b| {
+        b.iter(|| black_box(map_gemm(black_box(&cfg), black_box(&gemm)).unwrap()))
+    });
+}
+
+fn figure_regenerators(c: &mut Criterion) {
+    c.bench_function("fig7_full_sweep", |b| {
+        b.iter(|| black_box(daism_bench::fig7::run().unwrap()))
+    });
+    c.bench_function("fig5_full_sweep", |b| b.iter(|| black_box(daism_bench::fig5::run())));
+}
+
+criterion_group!(benches, model_evaluation, mapper, figure_regenerators);
+criterion_main!(benches);

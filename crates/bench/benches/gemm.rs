@@ -1,0 +1,33 @@
+//! GEMM throughput under the different scalar-multiplier backends — the
+//! cost of simulating approximate arithmetic in the DNN experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use daism_core::{ApproxFpMul, ExactMul, MultiplierConfig, QuantizedExactMul, ScalarMul};
+use daism_dnn::gemm;
+use daism_num::FpFormat;
+
+fn gemm_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_32x32x32");
+    let (m, k, n) = (32usize, 32, 32);
+    let a: Vec<f32> = (0..m * k).map(|i| (i as f32 % 7.0) - 3.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i as f32 % 5.0) - 2.0).collect();
+    let backends: Vec<(&str, Box<dyn ScalarMul>)> = vec![
+        ("exact_f32", Box::new(ExactMul)),
+        ("bf16_exact", Box::new(QuantizedExactMul::new(FpFormat::BF16))),
+        ("bf16_pc3_tr", Box::new(ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16))),
+        ("bf16_fla", Box::new(ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::BF16))),
+    ];
+    for (name, backend) in &backends {
+        group.bench_function(*name, |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                gemm(backend.as_ref(), black_box(&a), black_box(&b), &mut out, m, k, n);
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gemm_backends);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Throughput of the software multiplier models (per Table I config)
+//! and of the full floating-point pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use daism_core::{ApproxFpMul, MantissaMultiplier, MultiplierConfig, OperandMode, ScalarMul};
+use daism_num::FpFormat;
+
+fn mantissa_multipliers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mantissa_multiply_bf16");
+    for config in MultiplierConfig::ALL {
+        let m = MantissaMultiplier::new(config, OperandMode::Fp, 8);
+        group.bench_function(config.to_string(), |b| {
+            let mut a = 0x80u64;
+            b.iter(|| {
+                a = 0x80 | ((a * 73) & 0x7F);
+                black_box(m.multiply(black_box(a), black_box(0xB5)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fp_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp_multiply");
+    for (name, format) in [("bf16", FpFormat::BF16), ("fp32", FpFormat::FP32)] {
+        let m = ApproxFpMul::new(MultiplierConfig::PC3_TR, format);
+        group.bench_function(format!("pc3_tr_{name}"), |b| {
+            b.iter(|| black_box(m.mul(black_box(1.37), black_box(-2.93))))
+        });
+    }
+    group.finish();
+}
+
+fn exhaustive_error_sweep(c: &mut Criterion) {
+    c.bench_function("exhaustive_error_bf16_pc3", |b| {
+        let m = MantissaMultiplier::new(MultiplierConfig::PC3, OperandMode::Fp, 8);
+        b.iter(|| black_box(daism_core::error_analysis::exhaustive(&m)))
+    });
+}
+
+criterion_group!(benches, mantissa_multipliers, fp_pipeline, exhaustive_error_sweep);
+criterion_main!(benches);

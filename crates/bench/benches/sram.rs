@@ -1,0 +1,39 @@
+//! Throughput of the bit-level SRAM substrate: multi-wordline group
+//! reads and SRAM-backed multiplications.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use daism_core::{MultiplierConfig, OperandMode, SramMultiplier};
+use daism_sram::{BankGeometry, GroupLayout, SramBank};
+
+fn group_or_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sram_group_or_read");
+    for kb in [2usize, 8, 32] {
+        let geom = BankGeometry::square_from_bytes(kb * 1024).unwrap();
+        let layout = GroupLayout::new(8, 16).unwrap();
+        let mut bank = SramBank::new(geom, layout).unwrap();
+        for slot in 0..bank.slots() {
+            for line in 0..8 {
+                bank.write_line(0, line, slot, ((slot * 131 + line * 7) & 0xFFFF) as u64)
+                    .unwrap();
+            }
+        }
+        group.bench_function(format!("{kb}kB"), |b| {
+            b.iter(|| black_box(bank.read_or_group(black_box(0), black_box(0b1011_0101))))
+        });
+    }
+    group.finish();
+}
+
+fn sram_backed_multiply(c: &mut Criterion) {
+    let geom = BankGeometry::square_from_bytes(8 * 1024).unwrap();
+    let mut m =
+        SramMultiplier::new(MultiplierConfig::PC3_TR, OperandMode::Fp, 8, geom).unwrap();
+    let elems: Vec<u64> = (0..m.capacity().min(64)).map(|i| 0x80 | (i as u64 & 0x7F)).collect();
+    m.program_all(&elems).unwrap();
+    c.bench_function("sram_backed_multiply_group", |b| {
+        b.iter(|| black_box(m.multiply_group(black_box(0), black_box(0xD3))))
+    });
+}
+
+criterion_group!(benches, group_or_read, sram_backed_multiply);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Runs the reproduction's ablation suite.
+fn main() {
+    match daism_bench::ablations::run() {
+        Ok(a) => print!("{a}"),
+        Err(e) => {
+            eprintln!("ablations failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints the multiplier error characterisation table.
+fn main() {
+    print!("{}", daism_bench::error_tables::run(200_000));
+}

@@ -1,0 +1,7 @@
+//! Stuck-at fault injection study on the PC3 multiplier.
+use daism_core::MultiplierConfig;
+fn main() {
+    for config in [MultiplierConfig::PC3, MultiplierConfig::FLA] {
+        println!("{}", daism_bench::fault_study::run(config, 1024, 0xFA17));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 5 (energy breakdown per computation).
+fn main() {
+    print!("{}", daism_bench::fig5::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 6 (relative energy improvement).
+fn main() {
+    print!("{}", daism_bench::fig6::run());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig. 7 (cycles vs area, VGG-8 layer 1).
+fn main() {
+    match daism_bench::fig7::run() {
+        Ok(f) => print!("{f}"),
+        Err(e) => {
+            eprintln!("fig7 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

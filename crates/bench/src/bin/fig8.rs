@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 8 (area breakdown).
+fn main() {
+    print!("{}", daism_bench::fig8::run());
+}

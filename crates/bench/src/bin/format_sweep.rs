@@ -1,0 +1,7 @@
+//! Mantissa-width sweep for PC3 and PC3_tr.
+use daism_core::MultiplierConfig;
+fn main() {
+    for config in [MultiplierConfig::PC3, MultiplierConfig::PC3_TR] {
+        println!("{}", daism_bench::format_sweep::run(config, 100_000));
+    }
+}

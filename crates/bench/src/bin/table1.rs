@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table I.
+fn main() {
+    print!("{}", daism_bench::table1::run());
+}

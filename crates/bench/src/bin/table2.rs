@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table II.
+fn main() {
+    match daism_bench::table2::run() {
+        Ok(t) => print!("{t}"),
+        Err(e) => {
+            eprintln!("table2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table III.
+fn main() {
+    print!("{}", daism_bench::table3::run());
+}

@@ -1,0 +1,10 @@
+//! Runs all VGG-8 conv layers end-to-end through the tiled model.
+fn main() {
+    match daism_bench::vgg8_e2e::run() {
+        Ok(r) => print!("{r}"),
+        Err(e) => {
+            eprintln!("vgg8_e2e failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

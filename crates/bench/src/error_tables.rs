@@ -1,0 +1,104 @@
+//! Standalone error characterisation of every multiplier configuration
+//! (an extension beyond the paper's figures: the paper reports DNN-level
+//! accuracy only; this table shows the raw multiplier error driving it).
+
+use daism_core::error_analysis::{exhaustive, monte_carlo, ErrorStats};
+use daism_core::{MantissaMultiplier, MultiplierConfig, OperandMode};
+use std::fmt;
+
+/// One configuration's error statistics at both data types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Configuration name.
+    pub config: String,
+    /// Exhaustive bf16 statistics.
+    pub bf16: ErrorStats,
+    /// Monte-Carlo fp32 statistics.
+    pub fp32: ErrorStats,
+}
+
+/// The table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorTable {
+    /// One row per Table I configuration.
+    pub rows: Vec<Row>,
+    /// Monte-Carlo sample count used for fp32.
+    pub fp32_samples: u64,
+}
+
+/// Runs the error sweep (exhaustive at bf16, `samples` MC at fp32).
+pub fn run(samples: u64) -> ErrorTable {
+    let rows = MultiplierConfig::ALL
+        .iter()
+        .map(|&config| Row {
+            config: config.to_string(),
+            bf16: exhaustive(&MantissaMultiplier::new(config, OperandMode::Fp, 8)),
+            fp32: monte_carlo(
+                &MantissaMultiplier::new(config, OperandMode::Fp, 24),
+                samples,
+                0xDA15,
+            ),
+        })
+        .collect();
+    ErrorTable { rows, fp32_samples: samples }
+}
+
+impl fmt::Display for ErrorTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Multiplier error characterisation (bf16 exhaustive, fp32 {} MC samples)",
+            self.fp32_samples
+        )?;
+        writeln!(
+            f,
+            "{:<8} | {:>10} {:>9} {:>8} | {:>10} {:>9}",
+            "config", "bf16 mean", "bf16 max", "exact%", "fp32 mean", "fp32 max"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<8} | {:>9.2}% {:>8.2}% {:>7.2}% | {:>9.2}% {:>8.2}%",
+                r.config,
+                r.bf16.mean_rel_pct(),
+                r.bf16.max_rel_pct(),
+                100.0 * r.bf16.exact_fraction,
+                r.fp32.mean_rel_pct(),
+                r.fp32.max_rel_pct()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_holds_at_both_widths() {
+        let t = run(20_000);
+        let get = |name: &str| t.rows.iter().find(|r| r.config == name).unwrap();
+        for (worse, better) in [("FLA", "PC2"), ("PC2", "PC3")] {
+            assert!(get(better).bf16.mean_rel < get(worse).bf16.mean_rel);
+            assert!(get(better).fp32.mean_rel < get(worse).fp32.mean_rel);
+        }
+    }
+
+    #[test]
+    fn truncation_cost_is_small() {
+        let t = run(20_000);
+        let get = |name: &str| t.rows.iter().find(|r| r.config == name).unwrap();
+        assert!(
+            get("PC3_tr").bf16.mean_rel - get("PC3").bf16.mean_rel < 0.01,
+            "truncation adds more than 1 point of mean error"
+        );
+    }
+
+    #[test]
+    fn render() {
+        let s = run(5_000).to_string();
+        assert!(s.contains("bf16 mean"));
+        assert!(s.contains("PC3_tr"));
+    }
+}

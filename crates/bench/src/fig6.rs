@@ -1,0 +1,128 @@
+//! Fig. 6: relative energy improvement of `PC3_tr` over the baseline
+//! multiplier *once exponent handling is included* (the common cost that
+//! shrinks the win), across SRAM bank sizes and data types.
+
+use crate::fig5;
+use daism_core::MultiplierConfig;
+use daism_energy::components;
+use daism_num::FpFormat;
+use std::fmt;
+
+/// One bar of Fig. 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Data type.
+    pub dtype: String,
+    /// Bank capacity in kB.
+    pub bank_kb: usize,
+    /// Improvement factor `(baseline + exp) / (PC3_tr + exp)`.
+    pub improvement: f64,
+    /// Improvement without the exponent cost (Fig. 5's view).
+    pub improvement_no_exp: f64,
+}
+
+/// The figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6 {
+    /// Bars per (dtype × bank size).
+    pub bars: Vec<Bar>,
+}
+
+/// Runs the Fig. 6 sweep over bank sizes {8, 32, 128, 512} kB and both
+/// data types.
+pub fn run() -> Fig6 {
+    let exp_pj = components::exponent_add_energy_pj() + components::normalize_energy_pj();
+    let mut bars = Vec::new();
+    for format in [FpFormat::BF16, FpFormat::FP32] {
+        let base = fig5::baseline(format);
+        for bank_kb in [8usize, 32, 128, 512] {
+            let cell = fig5::cell(MultiplierConfig::PC3_TR, format, bank_kb);
+            let improvement = (base.total_pj() + exp_pj) / (cell.total_pj() + exp_pj);
+            let improvement_no_exp = base.total_pj() / cell.total_pj();
+            bars.push(Bar {
+                dtype: format.to_string(),
+                bank_kb,
+                improvement,
+                improvement_no_exp,
+            });
+        }
+    }
+    Fig6 { bars }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 6: Relative energy improvement of PC3_tr vs baseline (incl. exponent handling)"
+        )?;
+        writeln!(f, "{:<10} {:>7} {:>14} {:>18}", "dtype", "bank", "improvement", "(w/o exponent)")?;
+        for b in &self.bars {
+            writeln!(
+                f,
+                "{:<10} {:>5}kB {:>13.2}x {:>17.2}x",
+                b.dtype, b.bank_kb, b.improvement, b.improvement_no_exp
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_improves_everywhere() {
+        for b in run().bars.iter().filter(|b| b.dtype == "bfloat16") {
+            assert!(b.improvement > 1.0, "{}kB: {}", b.bank_kb, b.improvement);
+        }
+    }
+
+    #[test]
+    fn exponent_handling_shrinks_the_win() {
+        // §V-B2: "Adding this common cost reduces the benefits realized
+        // by using the proposed multipliers."
+        for b in run().bars {
+            if b.improvement_no_exp > 1.0 {
+                assert!(
+                    b.improvement < b.improvement_no_exp,
+                    "{} {}kB: {} !< {}",
+                    b.dtype,
+                    b.bank_kb,
+                    b.improvement,
+                    b.improvement_no_exp
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_wins_more_than_fp32() {
+        let f = run();
+        let bf16_8 = f.bars.iter().find(|b| b.dtype == "bfloat16" && b.bank_kb == 8).unwrap();
+        let fp32_8 = f.bars.iter().find(|b| b.dtype == "float32" && b.bank_kb == 8).unwrap();
+        assert!(bf16_8.improvement > fp32_8.improvement);
+    }
+
+    #[test]
+    fn improvement_stable_across_bank_sizes() {
+        let f = run();
+        let bf16: Vec<f64> = f
+            .bars
+            .iter()
+            .filter(|b| b.dtype == "bfloat16")
+            .map(|b| b.improvement)
+            .collect();
+        let max = bf16.iter().cloned().fold(0.0f64, f64::max);
+        let min = bf16.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 1.5, "spread {min}..{max}");
+    }
+
+    #[test]
+    fn render() {
+        let s = run().to_string();
+        assert!(s.contains("512kB"));
+        assert!(s.contains("bfloat16"));
+    }
+}

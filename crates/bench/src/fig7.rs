@@ -1,0 +1,182 @@
+//! Fig. 7: cycles vs on-chip area for executing the first layer of
+//! VGG-8 (`bfloat16`) on DAISM variants and the Eyeriss-style baseline.
+
+use daism_arch::{vgg8_layers, ArchError, DaismConfig, DaismModel, EyerissModel};
+use std::fmt;
+
+/// One point in the cycles/area plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Architecture label (e.g. `DAISM 16x8kB`).
+    pub label: String,
+    /// Compute cycles for VGG-8 layer 1.
+    pub cycles: u64,
+    /// Total on-chip area in mm².
+    pub area_mm2: f64,
+    /// PE count.
+    pub pes: usize,
+    /// Utilization.
+    pub utilization: f64,
+}
+
+/// The figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7 {
+    /// All evaluated points.
+    pub points: Vec<Point>,
+}
+
+/// The DAISM variants the paper sweeps: a single 512 kB bank, its banked
+/// splits, a 128 kB total, and the small 16×8 kB design.
+pub fn daism_variants() -> Vec<DaismConfig> {
+    let base = DaismConfig::paper_16x8kb();
+    vec![
+        DaismConfig { banks: 1, bank_bytes: 512 * 1024, ..base.clone() },
+        DaismConfig { banks: 4, bank_bytes: 128 * 1024, ..base.clone() },
+        DaismConfig { banks: 16, bank_bytes: 32 * 1024, ..base.clone() },
+        DaismConfig { banks: 1, bank_bytes: 128 * 1024, ..base.clone() },
+        DaismConfig { banks: 4, bank_bytes: 32 * 1024, ..base.clone() },
+        DaismConfig { banks: 16, bank_bytes: 8 * 1024, ..base.clone() },
+    ]
+}
+
+/// Runs the Fig. 7 sweep.
+///
+/// # Errors
+///
+/// Propagates architecture-model errors.
+pub fn run() -> Result<Fig7, ArchError> {
+    let layer = &vgg8_layers()[0];
+    let gemm = layer.gemm();
+    let mut points = Vec::new();
+    for cfg in daism_variants() {
+        let label = format!("DAISM {}", cfg.short_name());
+        let model = DaismModel::new(cfg)?;
+        let perf = model.perf(&gemm)?;
+        points.push(Point {
+            label,
+            cycles: perf.total_cycles,
+            area_mm2: model.area().total_mm2(),
+            pes: model.config().pes(),
+            utilization: perf.utilization,
+        });
+    }
+    let eyeriss = EyerissModel::default();
+    let ep = eyeriss.conv_cycles(layer)?;
+    points.push(Point {
+        label: "Eyeriss (row-stationary)".into(),
+        cycles: ep.cycles,
+        area_mm2: eyeriss.area_mm2(),
+        pes: eyeriss.config().pes(),
+        utilization: ep.utilization,
+    });
+    Ok(Fig7 { points })
+}
+
+impl Fig7 {
+    /// Finds a point by label substring.
+    pub fn find(&self, label: &str) -> Option<&Point> {
+        self.points.iter().find(|p| p.label.contains(label))
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 7: VGG-8 layer 1 (bfloat16): cycles vs on-chip area")?;
+        writeln!(
+            f,
+            "{:<26} {:>12} {:>10} {:>6} {:>8}",
+            "architecture", "cycles", "area mm2", "PEs", "util"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:<26} {:>12} {:>10.2} {:>6} {:>7.1}%",
+                p.label,
+                p.cycles,
+                p.area_mm2,
+                p.pes,
+                100.0 * p.utilization
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bank_is_slowest_daism() {
+        let f = run().unwrap();
+        let single = f.find("1x512kB").unwrap();
+        for p in f.points.iter().filter(|p| p.label.starts_with("DAISM") && p.label != single.label) {
+            assert!(single.cycles >= p.cycles, "{} faster than banked {}", single.label, p.label);
+        }
+    }
+
+    #[test]
+    fn banking_trades_area_for_cycles() {
+        // §V-C2: dividing the SRAM into banks decreases cycles "at the
+        // expense of some on-chip area".
+        let f = run().unwrap();
+        let one = f.find("1x512kB").unwrap();
+        let sixteen = f.find("16x32kB").unwrap();
+        assert!(sixteen.cycles < one.cycles / 3);
+        assert!(sixteen.area_mm2 > one.area_mm2 * 0.9);
+    }
+
+    #[test]
+    fn small_banks_match_big_bank_cycles_with_less_area() {
+        // §V-C2: "This makes the 16 banks of 8kB variation the smallest
+        // architecture while maintaining the same performance as the
+        // 128kB bank one" (16x8kB vs 4x128kB-class variants).
+        let f = run().unwrap();
+        let small = f.find("16x8kB").unwrap();
+        let big = f.find("4x128kB").unwrap();
+        // Same performance (both run 108-segment-equivalent schedules)…
+        assert!((small.cycles as f64 / big.cycles as f64 - 1.0).abs() < 0.05);
+        // …at clearly less area.
+        assert!(small.area_mm2 < big.area_mm2);
+        // And it is the smallest DAISM point among that performance tier.
+        for p in f
+            .points
+            .iter()
+            .filter(|p| p.label.starts_with("DAISM") && p.cycles <= small.cycles * 11 / 10)
+        {
+            assert!(small.area_mm2 <= p.area_mm2 + 1e-9, "{} smaller", p.label);
+        }
+    }
+
+    #[test]
+    fn daism_beats_eyeriss_cycles_at_comparable_area() {
+        // The paper's conclusion: DAISM "has been shown to outperform
+        // Eyeriss … for a comparable chip area".
+        let f = run().unwrap();
+        let eyeriss = f.find("Eyeriss").unwrap();
+        let daism = f.find("16x8kB").unwrap();
+        assert!(daism.cycles < eyeriss.cycles);
+        assert!(daism.area_mm2 < 1.6 * eyeriss.area_mm2);
+    }
+
+    #[test]
+    fn sixteen_bank_pe_count_matches_paper() {
+        // §V-C2: "the 16-bank design has 512 processing elements which
+        // are about 3x those of Eyeriss".
+        let f = run().unwrap();
+        let p = f.find("16x32kB").unwrap();
+        assert_eq!(p.pes, 512);
+        let e = f.find("Eyeriss").unwrap();
+        assert_eq!(e.pes, 168);
+        let ratio = p.pes as f64 / e.pes as f64;
+        assert!((2.5..3.5).contains(&ratio));
+    }
+
+    #[test]
+    fn render_lists_every_point() {
+        let s = run().unwrap().to_string();
+        assert!(s.contains("1x512kB"));
+        assert!(s.contains("Eyeriss"));
+    }
+}

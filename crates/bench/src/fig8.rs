@@ -1,0 +1,151 @@
+//! Fig. 8: detailed area breakdown of the DAISM architecture — how the
+//! SRAM vs other-digital split evolves with bank width (quadratic SRAM
+//! growth, linear PE growth) and with bank count (digital-dominated).
+
+use daism_arch::DaismConfig;
+use std::fmt;
+
+/// One breakdown point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Configuration label.
+    pub label: String,
+    /// SRAM bank area in mm².
+    pub sram_mm2: f64,
+    /// Other digital circuits (periphery + PEs + global) in mm².
+    pub digital_mm2: f64,
+    /// Scratchpad area in mm².
+    pub scratchpad_mm2: f64,
+    /// PEs.
+    pub pes: usize,
+    /// SRAM fraction of total area.
+    pub sram_fraction: f64,
+}
+
+/// The figure: a bank-size sweep (fixed count) and a bank-count sweep
+/// (fixed total capacity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8 {
+    /// Growing bank width at 16 banks.
+    pub size_sweep: Vec<Point>,
+    /// Growing bank count at 512 kB total.
+    pub count_sweep: Vec<Point>,
+}
+
+fn point(cfg: &DaismConfig) -> Point {
+    let report = daism_arch::DaismModel::new(cfg.clone()).expect("valid config").area();
+    let total = report.total_mm2();
+    Point {
+        label: cfg.short_name(),
+        sram_mm2: report.get("sram banks").unwrap_or(0.0),
+        digital_mm2: report.digital_mm2(),
+        scratchpad_mm2: report.get("scratchpads").unwrap_or(0.0),
+        pes: cfg.pes(),
+        sram_fraction: report.get("sram banks").unwrap_or(0.0) / total,
+    }
+}
+
+/// Runs both sweeps.
+pub fn run() -> Fig8 {
+    let base = DaismConfig::paper_16x8kb();
+    let size_sweep = [8, 32, 128, 512]
+        .iter()
+        .map(|&kb| point(&DaismConfig { bank_bytes: kb * 1024, ..base.clone() }))
+        .collect();
+    let count_sweep = [(1usize, 512usize), (4, 128), (16, 32), (64, 8)]
+        .iter()
+        .map(|&(banks, kb)| {
+            point(&DaismConfig { banks, bank_bytes: kb * 1024, ..base.clone() })
+        })
+        .collect();
+    Fig8 { size_sweep, count_sweep }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 8: DAISM area breakdown")?;
+        writeln!(f, "-- bank-size sweep (16 banks) --")?;
+        write_points(f, &self.size_sweep)?;
+        writeln!(f, "-- bank-count sweep (512 kB total) --")?;
+        write_points(f, &self.count_sweep)
+    }
+}
+
+fn write_points(f: &mut fmt::Formatter<'_>, points: &[Point]) -> fmt::Result {
+    writeln!(
+        f,
+        "{:<10} {:>10} {:>11} {:>12} {:>6} {:>8}",
+        "config", "sram mm2", "digital mm2", "scratch mm2", "PEs", "sram %"
+    )?;
+    for p in points {
+        writeln!(
+            f,
+            "{:<10} {:>10.3} {:>11.3} {:>12.3} {:>6} {:>7.1}%",
+            p.label,
+            p.sram_mm2,
+            p.digital_mm2,
+            p.scratchpad_mm2,
+            p.pes,
+            100.0 * p.sram_fraction
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_grows_quadratically_pes_linearly() {
+        // "When the SRAM's width is increased, its area squares
+        // quadratically while the number of PE increases linearly."
+        let f = run();
+        let s = &f.size_sweep;
+        for w in s.windows(2) {
+            // 4x capacity per step: SRAM ~4x, PEs 2x.
+            let sram_ratio = w[1].sram_mm2 / w[0].sram_mm2;
+            assert!((3.0..4.5).contains(&sram_ratio), "sram ratio {sram_ratio}");
+            assert_eq!(w[1].pes, 2 * w[0].pes);
+        }
+    }
+
+    #[test]
+    fn large_banks_are_sram_dominated() {
+        let f = run();
+        let last = f.size_sweep.last().unwrap();
+        assert!(last.sram_fraction > 0.6, "sram fraction {}", last.sram_fraction);
+        assert!(f.size_sweep[0].sram_fraction < last.sram_fraction);
+    }
+
+    #[test]
+    fn many_banks_are_digital_dominated() {
+        // "However as the number of banks increases, the area becomes
+        // dominated by other digital circuits."
+        let f = run();
+        let first = &f.count_sweep[0]; // 1x512kB
+        let last = f.count_sweep.last().unwrap(); // 64x8kB
+        let digital_share =
+            |p: &Point| p.digital_mm2 / (p.digital_mm2 + p.sram_mm2 + p.scratchpad_mm2);
+        assert!(digital_share(last) > digital_share(first));
+        assert!(last.digital_mm2 > last.sram_mm2);
+    }
+
+    #[test]
+    fn count_sweep_holds_total_capacity() {
+        let f = run();
+        // SRAM area roughly constant when only the split changes (fixed
+        // per-macro periphery adds a little per bank).
+        let first = f.count_sweep.first().unwrap().sram_mm2;
+        let last = f.count_sweep.last().unwrap().sram_mm2;
+        assert!((last / first) < 1.6, "{first} -> {last}");
+    }
+
+    #[test]
+    fn render_has_both_sweeps() {
+        let s = run().to_string();
+        assert!(s.contains("bank-size sweep"));
+        assert!(s.contains("bank-count sweep"));
+        assert!(s.contains("64x8kB"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Table III: qualitative comparison between DAISM and related
+//! technology families.
+
+use std::fmt;
+
+/// One qualitative row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Technology family.
+    pub family: &'static str,
+    /// Data movement between memory and compute.
+    pub data_movement: &'static str,
+    /// Computation style.
+    pub computation: &'static str,
+    /// Memory technology maturity.
+    pub memory_technology: &'static str,
+    /// Memory reads per operand set.
+    pub memory_reads: &'static str,
+}
+
+/// The table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table3 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Row>,
+}
+
+/// Builds Table III (static content, from the paper's §V-D).
+pub fn run() -> Table3 {
+    Table3 {
+        rows: vec![
+            Row {
+                family: "DAISM",
+                data_movement: "None",
+                computation: "Digital",
+                memory_technology: "Legacy",
+                memory_reads: "Single",
+            },
+            Row {
+                family: "Digital Multipliers",
+                data_movement: "Required",
+                computation: "Digital",
+                memory_technology: "Legacy",
+                memory_reads: "Single",
+            },
+            Row {
+                family: "Analog PIM",
+                data_movement: "None",
+                computation: "Analog",
+                memory_technology: "Novel",
+                memory_reads: "Single",
+            },
+            Row {
+                family: "SRAM Digital PIM",
+                data_movement: "None",
+                computation: "Digital",
+                memory_technology: "Legacy",
+                memory_reads: "Multiple",
+            },
+        ],
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table III: Key differences between DAISM and related work")?;
+        writeln!(
+            f,
+            "{:<20} {:<14} {:<12} {:<12} {:<10}",
+            "Family", "Data movement", "Computation", "Memory tech", "Mem reads"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<20} {:<14} {:<12} {:<12} {:<10}",
+                r.family, r.data_movement, r.computation, r.memory_technology, r.memory_reads
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daism_row_matches_paper() {
+        let t = run();
+        let d = &t.rows[0];
+        assert_eq!(d.family, "DAISM");
+        assert_eq!(d.data_movement, "None");
+        assert_eq!(d.computation, "Digital");
+        assert_eq!(d.memory_technology, "Legacy");
+        assert_eq!(d.memory_reads, "Single");
+    }
+
+    #[test]
+    fn four_families() {
+        assert_eq!(run().rows.len(), 4);
+    }
+
+    #[test]
+    fn render() {
+        let s = run().to_string();
+        assert!(s.contains("Analog PIM"));
+        assert!(s.contains("Multiple"));
+    }
+}

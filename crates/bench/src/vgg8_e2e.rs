@@ -1,0 +1,169 @@
+//! End-to-end VGG-8: all five convolution layers through the tiled
+//! architecture model — an extension beyond the paper's layer-1-only
+//! evaluation (§V-C), made possible by kernel tiling.
+
+use daism_arch::{simulate_tiled, vgg8_layers, ArchError, DaismConfig, EyerissModel};
+use std::fmt;
+
+/// Per-layer result on one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRow {
+    /// Layer name.
+    pub layer: String,
+    /// Kernel tiles needed.
+    pub tiles: usize,
+    /// Total cycles (compute + pre-load).
+    pub cycles: u64,
+    /// Energy in µJ.
+    pub energy_uj: f64,
+    /// Utilization.
+    pub utilization: f64,
+}
+
+/// One configuration's full-network run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkRun {
+    /// Configuration short name.
+    pub config: String,
+    /// Per-layer rows.
+    pub layers: Vec<LayerRow>,
+    /// Network total cycles.
+    pub total_cycles: u64,
+    /// Network total energy in µJ.
+    pub total_energy_uj: f64,
+    /// Network latency in ms at the configured clock.
+    pub latency_ms: f64,
+}
+
+/// The experiment: DAISM configurations + the Eyeriss cycle reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vgg8E2e {
+    /// DAISM runs.
+    pub runs: Vec<NetworkRun>,
+    /// Eyeriss total cycles over the same five layers.
+    pub eyeriss_cycles: u64,
+}
+
+/// Runs all five VGG-8 conv layers on the Table II configurations.
+///
+/// # Errors
+///
+/// Propagates architecture-model errors.
+pub fn run() -> Result<Vgg8E2e, ArchError> {
+    let layers = vgg8_layers();
+    let mut runs = Vec::new();
+    for cfg in [DaismConfig::paper_16x8kb(), DaismConfig::paper_16x32kb()] {
+        let mut rows = Vec::new();
+        let mut total_cycles = 0u64;
+        let mut total_energy = 0.0f64;
+        for layer in &layers {
+            let gemm = layer.gemm();
+            let t = simulate_tiled(&cfg, &gemm)?;
+            total_cycles += t.perf.total_cycles;
+            total_energy += t.energy.total_pj;
+            rows.push(LayerRow {
+                layer: layer.name.clone(),
+                tiles: t.tiles,
+                cycles: t.perf.total_cycles,
+                energy_uj: t.energy.total_pj / 1e6,
+                utilization: t.perf.utilization,
+            });
+        }
+        let latency_ms = total_cycles as f64 / (cfg.clock_mhz * 1e6) * 1e3;
+        runs.push(NetworkRun {
+            config: cfg.short_name(),
+            layers: rows,
+            total_cycles,
+            total_energy_uj: total_energy / 1e6,
+            latency_ms,
+        });
+    }
+    let eyeriss = EyerissModel::default();
+    let eyeriss_cycles = layers
+        .iter()
+        .map(|l| eyeriss.conv_cycles(l).map(|p| p.cycles))
+        .sum::<Result<u64, _>>()?;
+    Ok(Vgg8E2e { runs, eyeriss_cycles })
+}
+
+impl fmt::Display for Vgg8E2e {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "VGG-8 end-to-end (all conv layers, kernel tiling where needed)")?;
+        for run in &self.runs {
+            writeln!(f, "\n== DAISM {} ==", run.config)?;
+            writeln!(
+                f,
+                "{:<8} {:>6} {:>14} {:>12} {:>8}",
+                "layer", "tiles", "cycles", "energy uJ", "util"
+            )?;
+            for l in &run.layers {
+                writeln!(
+                    f,
+                    "{:<8} {:>6} {:>14} {:>12.1} {:>7.1}%",
+                    l.layer,
+                    l.tiles,
+                    l.cycles,
+                    l.energy_uj,
+                    100.0 * l.utilization
+                )?;
+            }
+            writeln!(
+                f,
+                "total: {} cycles ({:.2} ms @1GHz), {:.1} uJ",
+                run.total_cycles, run.latency_ms, run.total_energy_uj
+            )?;
+        }
+        writeln!(
+            f,
+            "\nEyeriss reference: {} cycles over the same layers",
+            self.eyeriss_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_layers_complete_on_both_configs() {
+        let e = run().unwrap();
+        assert_eq!(e.runs.len(), 2);
+        for r in &e.runs {
+            assert_eq!(r.layers.len(), 5);
+            assert!(r.total_cycles > 0);
+            // conv1 fits untiled; deeper layers tile.
+            assert_eq!(r.layers[0].tiles, 1);
+            assert!(r.layers[1].tiles > 1);
+        }
+    }
+
+    #[test]
+    fn bigger_banks_run_the_network_faster() {
+        let e = run().unwrap();
+        let small = &e.runs[0]; // 16x8kB
+        let big = &e.runs[1]; // 16x32kB
+        assert!(big.total_cycles < small.total_cycles);
+    }
+
+    #[test]
+    fn daism_beats_eyeriss_end_to_end() {
+        let e = run().unwrap();
+        for r in &e.runs {
+            assert!(
+                r.total_cycles < e.eyeriss_cycles,
+                "{}: {} vs eyeriss {}",
+                r.config,
+                r.total_cycles,
+                e.eyeriss_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn render() {
+        let s = run().unwrap().to_string();
+        assert!(s.contains("conv5"));
+        assert!(s.contains("Eyeriss reference"));
+    }
+}

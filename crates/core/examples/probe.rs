@@ -1,0 +1,17 @@
+//! Prints the error-statistics ladder for every multiplier
+//! configuration at bf16 and fp32 widths (exhaustive / Monte-Carlo).
+//!
+//! Run with: `cargo run -p daism-core --release --example probe`
+
+use daism_core::error_analysis::{exhaustive, monte_carlo};
+use daism_core::{MantissaMultiplier, MultiplierConfig, OperandMode};
+
+fn main() {
+    for n in [8u32, 24] {
+        for config in MultiplierConfig::ALL {
+            let m = MantissaMultiplier::new(config, OperandMode::Fp, n);
+            let s = if n <= 12 { exhaustive(&m) } else { monte_carlo(&m, 50_000, 1) };
+            println!("n={n} {config:>7}: {s}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+use std::fmt;
+
+/// Which pre-computed wordlines a multiplier variant stores (paper
+/// Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MultiplierKind {
+    /// Full lines activation: every line is a plain partial product.
+    Fla,
+    /// Pre-computed exact sums between the 2 largest partial products.
+    Pc2,
+    /// Pre-computed exact sums between the 3 largest partial products.
+    Pc3,
+}
+
+impl MultiplierKind {
+    /// All kinds, in Table I order.
+    pub const ALL: [MultiplierKind; 3] =
+        [MultiplierKind::Fla, MultiplierKind::Pc2, MultiplierKind::Pc3];
+
+    /// How many of the top partial products participate in pre-computed
+    /// sums (0 for FLA).
+    pub fn precomputed_depth(&self) -> u32 {
+        match self {
+            MultiplierKind::Fla => 0,
+            MultiplierKind::Pc2 => 2,
+            MultiplierKind::Pc3 => 3,
+        }
+    }
+}
+
+impl fmt::Display for MultiplierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiplierKind::Fla => write!(f, "FLA"),
+            MultiplierKind::Pc2 => write!(f, "PC2"),
+            MultiplierKind::Pc3 => write!(f, "PC3"),
+        }
+    }
+}
+
+/// Whether operands are floating-point mantissas (implicit leading one,
+/// the paper's target) or raw unsigned integers (the paper's Fig. 1/2
+/// exposition mode).
+///
+/// In [`OperandMode::Fp`] the multiplier's MSB is guaranteed set, so PC2
+/// drops line `B` entirely and PC3 collapses many {A,B,C} combinations
+/// (paper §III-C). In [`OperandMode::Int`], PC2 stores `A+B` *in place of*
+/// the LSB partial product `H` (paper Fig. 2) — trading the smallest PP
+/// for the worst collision; PC3 in integer mode is this reproduction's
+/// extension (extra combo lines, nothing sacrificed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OperandMode {
+    /// Floating-point mantissa operands with explicit leading one.
+    #[default]
+    Fp,
+    /// Raw unsigned integer operands.
+    Int,
+}
+
+impl fmt::Display for OperandMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperandMode::Fp => write!(f, "fp-mantissa"),
+            OperandMode::Int => write!(f, "integer"),
+        }
+    }
+}
+
+/// A full multiplier configuration: pre-computation depth + truncation
+/// (the five rows of the paper's Table I).
+///
+/// # Examples
+///
+/// ```
+/// use daism_core::MultiplierConfig;
+///
+/// assert_eq!(MultiplierConfig::PC3_TR.to_string(), "PC3_tr");
+/// assert_eq!(MultiplierConfig::ALL.len(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MultiplierConfig {
+    /// Pre-computed wordline scheme.
+    pub kind: MultiplierKind,
+    /// Whether only the top `n` product columns are stored and sensed.
+    pub truncate: bool,
+}
+
+impl MultiplierConfig {
+    /// Full lines activation, untruncated.
+    pub const FLA: MultiplierConfig = MultiplierConfig { kind: MultiplierKind::Fla, truncate: false };
+    /// PC2, untruncated.
+    pub const PC2: MultiplierConfig = MultiplierConfig { kind: MultiplierKind::Pc2, truncate: false };
+    /// PC3, untruncated.
+    pub const PC3: MultiplierConfig = MultiplierConfig { kind: MultiplierKind::Pc3, truncate: false };
+    /// PC2, truncated to the top `n` columns.
+    pub const PC2_TR: MultiplierConfig = MultiplierConfig { kind: MultiplierKind::Pc2, truncate: true };
+    /// PC3, truncated to the top `n` columns — the paper's preferred
+    /// configuration.
+    pub const PC3_TR: MultiplierConfig = MultiplierConfig { kind: MultiplierKind::Pc3, truncate: true };
+
+    /// The five configurations of Table I, in the paper's order.
+    pub const ALL: [MultiplierConfig; 5] = [
+        MultiplierConfig::FLA,
+        MultiplierConfig::PC2,
+        MultiplierConfig::PC3,
+        MultiplierConfig::PC2_TR,
+        MultiplierConfig::PC3_TR,
+    ];
+
+    /// Stored/sensed result width in bits for mantissa width `n`
+    /// (`2n` full, `n` truncated).
+    pub fn stored_width(&self, n: u32) -> u32 {
+        if self.truncate {
+            n
+        } else {
+            2 * n
+        }
+    }
+}
+
+impl fmt::Display for MultiplierConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.kind, if self.truncate { "_tr" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_names() {
+        let names: Vec<String> = MultiplierConfig::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names, vec!["FLA", "PC2", "PC3", "PC2_tr", "PC3_tr"]);
+    }
+
+    #[test]
+    fn stored_width_truncation() {
+        assert_eq!(MultiplierConfig::PC3.stored_width(8), 16);
+        assert_eq!(MultiplierConfig::PC3_TR.stored_width(8), 8);
+        assert_eq!(MultiplierConfig::PC2_TR.stored_width(24), 24);
+    }
+
+    #[test]
+    fn precomputed_depths() {
+        assert_eq!(MultiplierKind::Fla.precomputed_depth(), 0);
+        assert_eq!(MultiplierKind::Pc2.precomputed_depth(), 2);
+        assert_eq!(MultiplierKind::Pc3.precomputed_depth(), 3);
+    }
+
+    #[test]
+    fn operand_mode_default_is_fp() {
+        assert_eq!(OperandMode::default(), OperandMode::Fp);
+    }
+
+    #[test]
+    fn display_modes() {
+        assert_eq!(OperandMode::Fp.to_string(), "fp-mantissa");
+        assert_eq!(OperandMode::Int.to_string(), "integer");
+    }
+}

@@ -1,0 +1,70 @@
+use daism_sram::SramError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the multiplier models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An operand did not fit the configured mantissa width, or (in
+    /// floating-point mode) was missing its leading one.
+    OperandWidth {
+        /// The offending operand.
+        value: u64,
+        /// The configured mantissa width.
+        width: u32,
+        /// Whether the leading-one requirement was violated (fp mode).
+        missing_leading_one: bool,
+    },
+    /// The SRAM bank cannot hold the requested number of multiplicands.
+    CapacityExceeded {
+        /// Elements requested.
+        requested: usize,
+        /// Elements the bank can hold.
+        capacity: usize,
+    },
+    /// An unprogrammed slot was used in a multiplication.
+    SlotNotProgrammed {
+        /// Group index.
+        group: usize,
+        /// Slot index.
+        slot: usize,
+    },
+    /// An underlying SRAM access failed.
+    Sram(SramError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::OperandWidth { value, width, missing_leading_one } => {
+                if *missing_leading_one {
+                    write!(f, "operand {value:#x} lacks the leading one required of a {width}-bit mantissa")
+                } else {
+                    write!(f, "operand {value:#x} exceeds the {width}-bit mantissa width")
+                }
+            }
+            CoreError::CapacityExceeded { requested, capacity } => {
+                write!(f, "{requested} multiplicands exceed the bank capacity of {capacity}")
+            }
+            CoreError::SlotNotProgrammed { group, slot } => {
+                write!(f, "slot {slot} of group {group} has not been programmed")
+            }
+            CoreError::Sram(e) => write!(f, "sram access failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SramError> for CoreError {
+    fn from(e: SramError) -> Self {
+        CoreError::Sram(e)
+    }
+}

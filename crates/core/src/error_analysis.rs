@@ -1,0 +1,346 @@
+//! Error characterisation of the approximate multipliers.
+//!
+//! Exhaustive sweeps are feasible for `bfloat16` (128 × 128 mantissa
+//! pairs); `float32` uses deterministic Monte-Carlo sampling (no external
+//! RNG dependency — a splitmix64 stream keyed by the caller's seed).
+//!
+//! Error convention: `rel = (exact − approx) / exact`, which is always in
+//! `[0, 1)` because the OR approximation never overestimates. `bias` is
+//! the signed mean of `approx − exact` normalised by the exact mean.
+
+use crate::mantissa::MantissaMultiplier;
+use std::fmt;
+
+/// Aggregate error statistics for one multiplier configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Number of operand pairs evaluated.
+    pub samples: u64,
+    /// Mean relative error (`(exact − approx)/exact`, non-negative).
+    pub mean_rel: f64,
+    /// Maximum relative error observed.
+    pub max_rel: f64,
+    /// Root-mean-square relative error.
+    pub rms_rel: f64,
+    /// Fraction of pairs computed exactly.
+    pub exact_fraction: f64,
+    /// Signed bias `mean(approx − exact) / mean(exact)` (non-positive).
+    pub bias: f64,
+}
+
+impl ErrorStats {
+    /// Mean relative error in percent.
+    pub fn mean_rel_pct(&self) -> f64 {
+        100.0 * self.mean_rel
+    }
+
+    /// Maximum relative error in percent.
+    pub fn max_rel_pct(&self) -> f64 {
+        100.0 * self.max_rel
+    }
+}
+
+impl fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "samples={} mean={:.4}% max={:.4}% rms={:.4}% exact={:.2}% bias={:.4}%",
+            self.samples,
+            self.mean_rel_pct(),
+            self.max_rel_pct(),
+            100.0 * self.rms_rel,
+            100.0 * self.exact_fraction,
+            100.0 * self.bias
+        )
+    }
+}
+
+struct Accumulator {
+    samples: u64,
+    sum_rel: f64,
+    sum_rel_sq: f64,
+    max_rel: f64,
+    exact: u64,
+    sum_err: f64,
+    sum_exact: f64,
+}
+
+impl Accumulator {
+    fn new() -> Self {
+        Accumulator {
+            samples: 0,
+            sum_rel: 0.0,
+            sum_rel_sq: 0.0,
+            max_rel: 0.0,
+            exact: 0,
+            sum_err: 0.0,
+            sum_exact: 0.0,
+        }
+    }
+
+    fn push(&mut self, approx: u64, exact: u64) {
+        debug_assert!(approx <= exact, "OR approximation overestimated: {approx} > {exact}");
+        let e = exact as f64;
+        let rel = if exact == 0 { 0.0 } else { (exact - approx) as f64 / e };
+        self.samples += 1;
+        self.sum_rel += rel;
+        self.sum_rel_sq += rel * rel;
+        self.max_rel = self.max_rel.max(rel);
+        if approx == exact {
+            self.exact += 1;
+        }
+        self.sum_err += approx as f64 - e;
+        self.sum_exact += e;
+    }
+
+    fn finish(self) -> ErrorStats {
+        let n = self.samples.max(1) as f64;
+        ErrorStats {
+            samples: self.samples,
+            mean_rel: self.sum_rel / n,
+            max_rel: self.max_rel,
+            rms_rel: (self.sum_rel_sq / n).sqrt(),
+            exact_fraction: self.exact as f64 / n,
+            bias: if self.sum_exact > 0.0 { self.sum_err / self.sum_exact } else { 0.0 },
+        }
+    }
+}
+
+/// Exhaustively sweeps every fp-mode mantissa pair (both operands over
+/// `[2^(n-1), 2^n)`). Cost is `4^(n-1)` multiplies — fine for `n <= 12`.
+///
+/// # Panics
+///
+/// Panics if `n > 16` (use [`monte_carlo`] instead).
+pub fn exhaustive(mult: &MantissaMultiplier) -> ErrorStats {
+    let n = mult.mantissa_width();
+    assert!(n <= 16, "exhaustive sweep infeasible for n={n}; use monte_carlo");
+    let lo = 1u64 << (n - 1);
+    let hi = 1u64 << n;
+    let mut acc = Accumulator::new();
+    for a in lo..hi {
+        for b in lo..hi {
+            let approx = mult.to_product_scale(mult.multiply(a, b));
+            // Truncated configs can never see the low columns; compare at
+            // the precision the hardware retains.
+            let exact = mult.to_product_scale(mult.exact_reference(a, b));
+            acc.push(approx, exact);
+        }
+    }
+    acc.finish()
+}
+
+/// Exhaustively sweeps every *integer-mode* operand pair
+/// (`a, b ∈ 0..2^n`, no leading-one constraint) — quantifies the
+/// paper's Fig. 2 trade-off, where integer-mode PC2 sacrifices the LSB
+/// partial product to store `A+B`.
+///
+/// # Panics
+///
+/// Panics if `n > 10` (the sweep is `4^n` multiplies) or the multiplier
+/// is not in integer mode.
+pub fn exhaustive_int(mult: &MantissaMultiplier) -> ErrorStats {
+    use crate::config::OperandMode;
+    assert_eq!(
+        mult.layout().mode(),
+        OperandMode::Int,
+        "exhaustive_int needs an integer-mode multiplier"
+    );
+    let n = mult.mantissa_width();
+    assert!(n <= 10, "exhaustive int sweep infeasible for n={n}");
+    let hi = 1u64 << n;
+    let mut acc = Accumulator::new();
+    for a in 0..hi {
+        for b in 0..hi {
+            let approx = mult.to_product_scale(mult.multiply(a, b));
+            let exact = mult.to_product_scale(mult.exact_reference(a, b));
+            // Integer PC2 can only lose magnitude (the H contribution);
+            // the accumulator's invariant still holds.
+            acc.push(approx, exact);
+        }
+    }
+    acc.finish()
+}
+
+/// Deterministic Monte-Carlo sweep over `samples` uniformly random
+/// fp-mode mantissa pairs, keyed by `seed`.
+pub fn monte_carlo(mult: &MantissaMultiplier, samples: u64, seed: u64) -> ErrorStats {
+    let n = mult.mantissa_width();
+    let mask = (1u64 << (n - 1)) - 1;
+    let top = 1u64 << (n - 1);
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        // splitmix64.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut acc = Accumulator::new();
+    for _ in 0..samples {
+        let a = top | (next() & mask);
+        let b = top | (next() & mask);
+        let approx = mult.to_product_scale(mult.multiply(a, b));
+        let exact = mult.to_product_scale(mult.exact_reference(a, b));
+        acc.push(approx, exact);
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MultiplierConfig, MultiplierKind, OperandMode};
+
+    fn mult(config: MultiplierConfig) -> MantissaMultiplier {
+        MantissaMultiplier::new(config, OperandMode::Fp, 8)
+    }
+
+    #[test]
+    fn exhaustive_bf16_error_ladder() {
+        // PC3 < PC2 < FLA in mean relative error (the paper's §V-D
+        // reason #1 for PC3).
+        let fla = exhaustive(&mult(MultiplierConfig::FLA));
+        let pc2 = exhaustive(&mult(MultiplierConfig::PC2));
+        let pc3 = exhaustive(&mult(MultiplierConfig::PC3));
+        assert_eq!(fla.samples, 128 * 128);
+        assert!(pc3.mean_rel < pc2.mean_rel && pc2.mean_rel < fla.mean_rel);
+        // Measured envelope (exhaustive): FLA ≈ 16.4%, PC2 ≈ 9.0%,
+        // PC3 ≈ 4.6% mean relative error — PC3 quarters FLA's error.
+        assert!(fla.mean_rel < 0.20, "FLA mean {}", fla.mean_rel);
+        assert!(pc2.mean_rel < 0.11, "PC2 mean {}", pc2.mean_rel);
+        assert!(pc3.mean_rel < 0.06, "PC3 mean {}", pc3.mean_rel);
+        assert!(pc3.mean_rel > 0.02, "PC3 suspiciously exact: {}", pc3.mean_rel);
+    }
+
+    #[test]
+    fn bias_is_non_positive() {
+        for config in MultiplierConfig::ALL {
+            let s = exhaustive(&mult(config));
+            assert!(s.bias <= 0.0, "{config}: bias {}", s.bias);
+        }
+    }
+
+    #[test]
+    fn max_rel_below_one() {
+        for config in MultiplierConfig::ALL {
+            let s = exhaustive(&mult(config));
+            assert!(s.max_rel < 1.0);
+        }
+    }
+
+    #[test]
+    fn pc3_exact_fraction_exceeds_fla() {
+        let fla = exhaustive(&mult(MultiplierConfig::FLA));
+        let pc3 = exhaustive(&mult(MultiplierConfig::PC3));
+        assert!(pc3.exact_fraction > fla.exact_fraction);
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic() {
+        let m = mult(MultiplierConfig::PC3_TR);
+        let a = monte_carlo(&m, 5_000, 42);
+        let b = monte_carlo(&m, 5_000, 42);
+        assert_eq!(a, b);
+        let c = monte_carlo(&m, 5_000, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn monte_carlo_tracks_exhaustive() {
+        // On bf16, MC with enough samples lands near the exhaustive mean.
+        let m = mult(MultiplierConfig::PC3);
+        let ex = exhaustive(&m);
+        let mc = monte_carlo(&m, 100_000, 7);
+        assert!(
+            (ex.mean_rel - mc.mean_rel).abs() < 0.002,
+            "exhaustive {} vs MC {}",
+            ex.mean_rel,
+            mc.mean_rel
+        );
+    }
+
+    #[test]
+    fn fp32_monte_carlo_error_small() {
+        // float32 mantissas collide lower in the product; PC3's error is
+        // far smaller than for bf16.
+        let m = MantissaMultiplier::new(MultiplierConfig::PC3, OperandMode::Fp, 24);
+        let s = monte_carlo(&m, 20_000, 1);
+        // float32 mantissas behave like bf16 ones at the top (where the
+        // error lives): PC3 mean ≈ 4.9%, max < 20%.
+        assert!(s.mean_rel < 0.06, "mean {}", s.mean_rel);
+        assert!(s.max_rel < 0.25, "max {}", s.max_rel);
+    }
+
+    #[test]
+    fn truncation_adds_bounded_error() {
+        // Truncation loses at most the low n columns: per-sample that is
+        // < 2^-(n-2) of the product; bound the mean delta loosely at 1.5%.
+        let full = exhaustive(&mult(MultiplierConfig::PC3));
+        let tr = exhaustive(&mult(MultiplierConfig::PC3_TR));
+        assert!(tr.mean_rel <= full.mean_rel + 0.015);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = exhaustive(&mult(MultiplierConfig::PC2));
+        let txt = s.to_string();
+        assert!(txt.contains("samples=16384"));
+        assert!(txt.contains("mean="));
+        assert!(txt.contains("bias="));
+    }
+
+    #[test]
+    fn int_mode_fla_includes_zero_operands() {
+        let m = MantissaMultiplier::new(
+            MultiplierConfig { kind: MultiplierKind::Fla, truncate: false },
+            OperandMode::Int,
+            8,
+        );
+        assert_eq!(m.multiply(0xFF, 0), 0);
+    }
+
+    #[test]
+    fn int_mode_pc2_tradeoff_quantified() {
+        // Paper Fig. 2: integer-mode PC2 stores A+B in place of H. It
+        // repairs the worst collision but loses the LSB PP — the net
+        // must still be a clear improvement over FLA on average.
+        let fla = exhaustive_int(&MantissaMultiplier::new(
+            MultiplierConfig { kind: MultiplierKind::Fla, truncate: false },
+            OperandMode::Int,
+            8,
+        ));
+        let pc2 = exhaustive_int(&MantissaMultiplier::new(
+            MultiplierConfig { kind: MultiplierKind::Pc2, truncate: false },
+            OperandMode::Int,
+            8,
+        ));
+        assert!(pc2.mean_rel < fla.mean_rel, "PC2 {} !< FLA {}", pc2.mean_rel, fla.mean_rel);
+        // But the H-loss means PC2-int is never error-free on odd
+        // multipliers: its exact fraction trails the fp-mode variant.
+        assert!(pc2.exact_fraction < 0.5);
+    }
+
+    #[test]
+    fn int_mode_pc3_extension_beats_pc2() {
+        let pc2 = exhaustive_int(&MantissaMultiplier::new(
+            MultiplierConfig { kind: MultiplierKind::Pc2, truncate: false },
+            OperandMode::Int,
+            8,
+        ));
+        let pc3 = exhaustive_int(&MantissaMultiplier::new(
+            MultiplierConfig { kind: MultiplierKind::Pc3, truncate: false },
+            OperandMode::Int,
+            8,
+        ));
+        assert!(pc3.mean_rel < pc2.mean_rel);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer-mode")]
+    fn exhaustive_int_rejects_fp_mode() {
+        let m = MantissaMultiplier::new(MultiplierConfig::PC2, OperandMode::Fp, 8);
+        let _ = exhaustive_int(&m);
+    }
+}

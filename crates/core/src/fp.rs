@@ -1,0 +1,410 @@
+use crate::config::{MultiplierConfig, OperandMode};
+use crate::mantissa::MantissaMultiplier;
+use daism_num::{bits, FpClass, FpFormat, FpScalar};
+use std::fmt;
+
+/// A scalar multiplication backend: the seam through which the DNN crates
+/// and the architecture model plug in exact or approximate arithmetic.
+///
+/// Implementors must be deterministic and side-effect free; `mul` is
+/// called billions of times by the accuracy experiments.
+pub trait ScalarMul: fmt::Debug + Send + Sync {
+    /// Multiplies two values, returning the result widened to `f32`.
+    fn mul(&self, x: f32, y: f32) -> f32;
+
+    /// Human-readable backend name for reports (e.g. `"bfloat16/PC3_tr"`).
+    fn name(&self) -> String;
+
+    /// `true` if `mul` is exactly native `f32` multiplication, letting
+    /// bulk callers (GEMM kernels) skip per-element dispatch. Only
+    /// [`ExactMul`] should return `true`.
+    fn is_native_f32(&self) -> bool {
+        false
+    }
+}
+
+/// Exact native `f32` multiplication — the paper's float32 baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactMul;
+
+impl ScalarMul for ExactMul {
+    fn mul(&self, x: f32, y: f32) -> f32 {
+        x * y
+    }
+
+    fn name(&self) -> String {
+        "float32/exact".into()
+    }
+
+    fn is_native_f32(&self) -> bool {
+        true
+    }
+}
+
+/// Exact multiplication at reduced precision: operands are quantized into
+/// `format`, multiplied exactly, and the result re-quantized
+/// (round-to-nearest-even). This isolates *quantization* error from the
+/// OR-approximation error that [`ApproxFpMul`] adds on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizedExactMul {
+    format: FpFormat,
+}
+
+impl QuantizedExactMul {
+    /// Creates an exact multiplier at `format` precision.
+    pub fn new(format: FpFormat) -> Self {
+        QuantizedExactMul { format }
+    }
+
+    /// The operand/result format.
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+}
+
+impl ScalarMul for QuantizedExactMul {
+    fn mul(&self, x: f32, y: f32) -> f32 {
+        let xq = FpScalar::from_f32(x, self.format).to_f64();
+        let yq = FpScalar::from_f32(y, self.format).to_f64();
+        FpScalar::from_f32((xq * yq) as f32, self.format).to_f32()
+    }
+
+    fn name(&self) -> String {
+        format!("{}/exact", self.format)
+    }
+}
+
+/// The full DAISM floating-point multiply pipeline (paper §III-C, §IV-A):
+///
+/// 1. decode operands into `format` (subnormals flush to zero);
+/// 2. **zero bypass** — multiplications by zero never touch the SRAM;
+/// 3. sign = XOR, exponents added exactly (separate small adder);
+/// 4. mantissas (with explicit leading ones) multiplied by the
+///    OR-approximate [`MantissaMultiplier`];
+/// 5. renormalisation by at most one position; mantissa *truncated*
+///    (floor) to the format — the hardware has no rounding logic;
+/// 6. exponent overflow saturates to infinity, underflow flushes to zero.
+///
+/// # Examples
+///
+/// ```
+/// use daism_core::{ApproxFpMul, MultiplierConfig, ScalarMul};
+/// use daism_num::FpFormat;
+///
+/// let mul = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+/// // Powers of two multiply exactly (single active partial product):
+/// assert_eq!(mul.mul(4.0, -0.5), -2.0);
+/// // Zero bypass:
+/// assert_eq!(mul.mul(0.0, 123.4), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApproxFpMul {
+    format: FpFormat,
+    mult: MantissaMultiplier,
+}
+
+impl ApproxFpMul {
+    /// Builds the pipeline for a multiplier configuration and operand
+    /// format.
+    pub fn new(config: MultiplierConfig, format: FpFormat) -> Self {
+        let mult = MantissaMultiplier::new(config, OperandMode::Fp, format.mantissa_width());
+        ApproxFpMul { format, mult }
+    }
+
+    /// The operand/result format.
+    #[inline]
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+
+    /// The underlying mantissa multiplier.
+    #[inline]
+    pub fn mantissa_multiplier(&self) -> &MantissaMultiplier {
+        &self.mult
+    }
+
+    /// The multiplier configuration.
+    #[inline]
+    pub fn config(&self) -> MultiplierConfig {
+        self.mult.config()
+    }
+
+    /// Multiplies two decoded scalars through the approximate pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scalars are not in this pipeline's format.
+    pub fn mul_scalars(&self, x: &FpScalar, y: &FpScalar) -> FpScalar {
+        assert_eq!(x.format(), self.format, "left operand format mismatch");
+        assert_eq!(y.format(), self.format, "right operand format mismatch");
+        let sign = x.sign() ^ y.sign();
+
+        // NaN / Inf / zero handling (exact side logic, not in the SRAM).
+        match (x.class(), y.class()) {
+            (FpClass::Nan, _) | (_, FpClass::Nan) => {
+                return FpScalar::from_f32(f32::NAN, self.format)
+            }
+            (FpClass::Inf, FpClass::Zero) | (FpClass::Zero, FpClass::Inf) => {
+                return FpScalar::from_f32(f32::NAN, self.format)
+            }
+            (FpClass::Inf, _) | (_, FpClass::Inf) => {
+                let v = if sign { f32::NEG_INFINITY } else { f32::INFINITY };
+                return FpScalar::from_f32(v, self.format);
+            }
+            (FpClass::Zero, _) | (_, FpClass::Zero) => {
+                // Zero bypass (§III-C): never reaches the array.
+                let v = if sign { -0.0 } else { 0.0 };
+                return FpScalar::from_f32(v, self.format);
+            }
+            (FpClass::Normal, FpClass::Normal) => {}
+        }
+
+        let raw = self.mult.multiply(x.mantissa(), y.mantissa());
+        self.combine_raw(x, y, raw)
+    }
+
+    /// Combines a raw mantissa-multiplier read-out (`raw`, as produced by
+    /// [`MantissaMultiplier::multiply`] or
+    /// [`SramMultiplier::multiply_group`](crate::SramMultiplier)) with the
+    /// operands' signs and exponents: renormalisation, exponent add and
+    /// saturation. This is the accumulator-side logic of the accelerator;
+    /// exposing it lets the SRAM-backed datapath share one normalisation
+    /// implementation.
+    ///
+    /// `raw == 0` yields (signed) zero — the read-out of a slot whose
+    /// stored multiplicand is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not a `Normal` scalar of this
+    /// pipeline's format.
+    pub fn combine_raw(&self, x: &FpScalar, y: &FpScalar, raw: u64) -> FpScalar {
+        assert_eq!(x.format(), self.format, "left operand format mismatch");
+        assert_eq!(y.format(), self.format, "right operand format mismatch");
+        assert_eq!(x.class(), FpClass::Normal, "combine_raw needs normal operands");
+        assert_eq!(y.class(), FpClass::Normal, "combine_raw needs normal operands");
+        let sign = x.sign() ^ y.sign();
+        if raw == 0 {
+            let v = if sign { -0.0 } else { 0.0 };
+            return FpScalar::from_f32(v, self.format);
+        }
+        let n = self.format.mantissa_width();
+        let exp_sum = x.exponent() + y.exponent();
+
+        // Renormalise: the product of two [1,2) mantissas lies in [1,4).
+        // Full result has 2n columns; truncated keeps the top n. The
+        // normaliser looks at the top column and shifts by at most one.
+        let (man, exp) = if self.mult.config().truncate {
+            // raw approximates (x.man * y.man) >> n, an n-bit value whose
+            // bit n-1 is set iff the product reached [2,4).
+            if bits::bit(raw, n - 1) {
+                (raw, exp_sum + 1)
+            } else {
+                // Shift left; the incoming LSB (column n-1 of the full
+                // product) was truncated away — hardware fills zero.
+                ((raw << 1) & bits::mask(n), exp_sum)
+            }
+        } else {
+            // raw approximates the full 2n-bit product.
+            if bits::bit(raw, 2 * n - 1) {
+                (raw >> n, exp_sum + 1)
+            } else {
+                ((raw >> (n - 1)) & bits::mask(n), exp_sum)
+            }
+        };
+
+        debug_assert!(bits::bit(man, n - 1), "normalised mantissa must have its leading one");
+        FpScalar::from_parts(sign, exp, man, self.format)
+    }
+}
+
+impl ScalarMul for ApproxFpMul {
+    fn mul(&self, x: f32, y: f32) -> f32 {
+        let xs = FpScalar::from_f32(x, self.format);
+        let ys = FpScalar::from_f32(y, self.format);
+        self.mul_scalars(&xs, &ys).to_f32()
+    }
+
+    fn name(&self) -> String {
+        format!("{}/{}", self.format, self.mult.config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc3tr_bf16() -> ApproxFpMul {
+        ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16)
+    }
+
+    #[test]
+    fn zero_bypass() {
+        let m = pc3tr_bf16();
+        assert_eq!(m.mul(0.0, 5.0), 0.0);
+        assert_eq!(m.mul(5.0, 0.0), 0.0);
+        assert_eq!(m.mul(-0.0, 5.0), -0.0);
+        assert!(m.mul(-3.0, 0.0).to_bits() == (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn sign_xor() {
+        let m = pc3tr_bf16();
+        assert!(m.mul(2.0, 3.0) > 0.0);
+        assert!(m.mul(-2.0, 3.0) < 0.0);
+        assert!(m.mul(2.0, -3.0) < 0.0);
+        assert!(m.mul(-2.0, -3.0) > 0.0);
+    }
+
+    #[test]
+    fn powers_of_two_are_exact() {
+        for config in MultiplierConfig::ALL {
+            let m = ApproxFpMul::new(config, FpFormat::BF16);
+            for &(x, y) in
+                &[(2.0f32, 8.0f32), (0.5, 0.25), (1.0, 1.0), (-4.0, 2.0), (1024.0, 0.0625)]
+            {
+                assert_eq!(m.mul(x, y), x * y, "{config}: {x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_propagate() {
+        let m = pc3tr_bf16();
+        assert!(m.mul(f32::NAN, 1.0).is_nan());
+        assert!(m.mul(f32::INFINITY, 0.0).is_nan());
+        assert_eq!(m.mul(f32::INFINITY, 2.0), f32::INFINITY);
+        assert_eq!(m.mul(f32::NEG_INFINITY, 2.0), f32::NEG_INFINITY);
+        assert_eq!(m.mul(f32::INFINITY, -2.0), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn never_overestimates_magnitude() {
+        // The OR approximation + floor truncation can only lose magnitude
+        // relative to the bf16-quantized exact product.
+        let exact = QuantizedExactMul::new(FpFormat::BF16);
+        for config in MultiplierConfig::ALL {
+            let m = ApproxFpMul::new(config, FpFormat::BF16);
+            let mut v = 0.11f32;
+            for _ in 0..200 {
+                let mut w = 0.07f32;
+                for _ in 0..50 {
+                    let a = m.mul(v, w).abs();
+                    // Compare against the unquantized product of the
+                    // quantized operands (the true reference).
+                    let xq = FpScalar::from_f32(v, FpFormat::BF16).to_f64();
+                    let yq = FpScalar::from_f32(w, FpFormat::BF16).to_f64();
+                    let e = (xq * yq).abs();
+                    assert!(
+                        a as f64 <= e * (1.0 + 1e-12),
+                        "{config}: {v}*{w}: approx {a} > exact {e}"
+                    );
+                    w *= 1.83;
+                }
+                v *= 1.31;
+            }
+            let _ = exact; // silence unused in case asserts compiled out
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded_for_pc3() {
+        // PC3's worst case: all collisions below the top-3 bits. The
+        // exhaustive mantissa analysis puts the ceiling just under 20%;
+        // the fp pipeline adds one floor-truncation on top.
+        let m = pc3tr_bf16();
+        let mut worst = 0.0f64;
+        let mut v = 1.0f32;
+        for i in 0..256 {
+            let x = 1.0 + (i as f32) / 256.0; // sweep mantissas in [1,2)
+            for j in 0..256 {
+                let y = 1.0 + (j as f32) / 256.0;
+                let approx = m.mul(x, y) as f64;
+                let xq = FpScalar::from_f32(x, FpFormat::BF16).to_f64();
+                let yq = FpScalar::from_f32(y, FpFormat::BF16).to_f64();
+                let exact = xq * yq;
+                let rel = ((exact - approx) / exact).abs();
+                worst = worst.max(rel);
+            }
+            v += 1.0;
+        }
+        let _ = v;
+        assert!(worst < 0.25, "worst-case PC3_tr relative error {worst}");
+        assert!(worst > 0.05, "PC3_tr suspiciously accurate: {worst}");
+    }
+
+    #[test]
+    fn truncated_and_full_agree_when_no_low_bits() {
+        // Operands whose product fits the top n columns exactly lose
+        // nothing to truncation.
+        let full = ApproxFpMul::new(MultiplierConfig::PC3, FpFormat::BF16);
+        let tr = pc3tr_bf16();
+        for &(x, y) in &[(1.5f32, 1.5f32), (1.75, 1.25), (1.5, 3.0)] {
+            assert_eq!(full.mul(x, y), tr.mul(x, y), "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn quantized_exact_matches_f64_reference() {
+        let m = QuantizedExactMul::new(FpFormat::BF16);
+        let x = 1.0 + 3.0 / 128.0;
+        let y = 1.0 + 5.0 / 128.0;
+        let expect = FpScalar::from_f32(
+            (FpScalar::from_f32(x, FpFormat::BF16).to_f64()
+                * FpScalar::from_f32(y, FpFormat::BF16).to_f64()) as f32,
+            FpFormat::BF16,
+        )
+        .to_f32();
+        assert_eq!(m.mul(x, y), expect);
+    }
+
+    #[test]
+    fn exact_mul_name_and_behaviour() {
+        let m = ExactMul;
+        assert_eq!(m.mul(3.0, 4.0), 12.0);
+        assert_eq!(m.name(), "float32/exact");
+    }
+
+    #[test]
+    fn names_follow_convention() {
+        assert_eq!(pc3tr_bf16().name(), "bfloat16/PC3_tr");
+        assert_eq!(
+            ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::FP32).name(),
+            "float32/FLA"
+        );
+        assert_eq!(QuantizedExactMul::new(FpFormat::BF16).name(), "bfloat16/exact");
+    }
+
+    #[test]
+    fn fp32_pipeline_within_pc3_envelope() {
+        let m = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::FP32);
+        let x = 1.2345678f32;
+        let y = 7.654_321_f32;
+        let approx = m.mul(x, y);
+        let exact = x * y;
+        let rel = ((exact - approx) / exact).abs();
+        assert!(rel < 0.20, "rel {rel}");
+        assert!(approx <= exact);
+    }
+
+    #[test]
+    fn exponent_saturation() {
+        let m = pc3tr_bf16();
+        let big = 1e38f32;
+        assert_eq!(m.mul(big, big), f32::INFINITY);
+        let tiny = 1e-38f32;
+        assert_eq!(m.mul(tiny, tiny), 0.0);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let muls: Vec<Box<dyn ScalarMul>> = vec![
+            Box::new(ExactMul),
+            Box::new(QuantizedExactMul::new(FpFormat::BF16)),
+            Box::new(pc3tr_bf16()),
+        ];
+        for m in &muls {
+            assert_eq!(m.mul(1.0, 1.0), 1.0, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,348 @@
+use crate::config::{MultiplierConfig, OperandMode};
+use crate::lines::LineLayout;
+use daism_num::bits;
+
+/// Exact product of two mantissas (reference for error analysis).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(daism_core::exact_mul(0b1011, 0b0101), 0b1011 * 0b0101);
+/// ```
+#[inline]
+pub fn exact_mul(a: u64, b: u64) -> u64 {
+    debug_assert!(bits::width_of(a) <= 24 && bits::width_of(b) <= 24);
+    a * b
+}
+
+/// Bit-exact software model of one DAISM mantissa multiplier.
+///
+/// `multiply` produces exactly the value the SRAM wired-OR would read:
+/// the OR of the stored line patterns selected by the address decoder.
+/// This is the fast path used by the DNN experiments; the
+/// [`SramMultiplier`](crate::SramMultiplier) executes the same semantics
+/// through the bit-level SRAM and is differentially tested against this.
+///
+/// # Examples
+///
+/// ```
+/// use daism_core::{MantissaMultiplier, MultiplierConfig, OperandMode};
+///
+/// let m = MantissaMultiplier::new(MultiplierConfig::PC3, OperandMode::Fp, 8);
+/// // Multiplier with only bits A,B set is exact under PC2/PC3:
+/// assert_eq!(m.multiply(0b1000_0001, 0b1100_0000), 0b1000_0001 * 0b1100_0000);
+/// // Generic operands under-approximate:
+/// let approx = m.multiply(0b1011_0101, 0b1101_1011);
+/// assert!(approx <= 0b1011_0101u64 * 0b1101_1011);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MantissaMultiplier {
+    layout: LineLayout,
+}
+
+impl MantissaMultiplier {
+    /// Creates the multiplier model for `config`/`mode` at mantissa width
+    /// `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupported widths (see [`LineLayout::new`]).
+    pub fn new(config: MultiplierConfig, mode: OperandMode, n: u32) -> Self {
+        MantissaMultiplier { layout: LineLayout::new(config, mode, n) }
+    }
+
+    /// The line layout backing this multiplier.
+    #[inline]
+    pub fn layout(&self) -> &LineLayout {
+        &self.layout
+    }
+
+    /// The configuration.
+    #[inline]
+    pub fn config(&self) -> MultiplierConfig {
+        self.layout.config()
+    }
+
+    /// Mantissa width `n`.
+    #[inline]
+    pub fn mantissa_width(&self) -> u32 {
+        self.layout.mantissa_width()
+    }
+
+    /// Result width: `2n` full, `n` truncated.
+    #[inline]
+    pub fn result_width(&self) -> u32 {
+        self.layout.stored_width()
+    }
+
+    /// The approximate product: OR of the activated stored patterns.
+    ///
+    /// For truncated configurations the result approximates
+    /// `(a·b) >> n`; otherwise it approximates `a·b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands exceed `n` bits or (fp mode) `b != 0` lacks its
+    /// leading one.
+    pub fn multiply(&self, a: u64, b: u64) -> u64 {
+        let mask = self.layout.decode(b);
+        let mut acc = 0u64;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            acc |= self.layout.stored_pattern(i, a);
+            m &= m - 1;
+        }
+        acc
+    }
+
+    /// The *exact* value at the same scale as
+    /// [`multiply`](MantissaMultiplier::multiply)'s result
+    /// (`a·b`, shifted right by `n` for truncated configurations, floor).
+    pub fn exact_reference(&self, a: u64, b: u64) -> u64 {
+        let p = exact_mul(a, b);
+        if self.config().truncate {
+            p >> self.layout.mantissa_width()
+        } else {
+            p
+        }
+    }
+
+    /// Scales an approximate result back to full product magnitude
+    /// (`<< n` for truncated configurations) for error comparisons.
+    pub fn to_product_scale(&self, result: u64) -> u64 {
+        if self.config().truncate {
+            result << self.layout.mantissa_width()
+        } else {
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MultiplierKind;
+
+    fn all_multipliers(n: u32) -> Vec<MantissaMultiplier> {
+        MultiplierConfig::ALL
+            .iter()
+            .map(|&c| MantissaMultiplier::new(c, OperandMode::Fp, n))
+            .collect()
+    }
+
+    /// All 8-bit fp mantissas (leading one set).
+    fn fp_mantissas_8() -> impl Iterator<Item = u64> {
+        0x80u64..=0xFF
+    }
+
+    #[test]
+    fn approx_never_exceeds_exact() {
+        // OR(x, y) = x + y - (x & y) <= x + y, inductively for any count;
+        // pre-computed lines replace ORs with exact sums, still <= exact.
+        for m in all_multipliers(8) {
+            for a in fp_mantissas_8().step_by(7) {
+                for b in fp_mantissas_8().step_by(5) {
+                    let approx = m.to_product_scale(m.multiply(a, b));
+                    let exact = exact_mul(a, b);
+                    assert!(
+                        approx <= exact,
+                        "{}: {a:#x}*{b:#x}: approx {approx:#x} > exact {exact:#x}",
+                        m.config()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_dominates_largest_partial_product() {
+        // The OR contains every activated line, so the result is at least
+        // the largest partial product (A is always active in fp mode).
+        for m in all_multipliers(8) {
+            for a in fp_mantissas_8().step_by(11) {
+                for b in fp_mantissas_8().step_by(13) {
+                    let approx = m.to_product_scale(m.multiply(a, b));
+                    let floor = (a << 7) >> if m.config().truncate { 8 } else { 0 }
+                        << if m.config().truncate { 8 } else { 0 };
+                    assert!(
+                        approx >= floor,
+                        "{}: {a:#x}*{b:#x}: approx {approx:#x} < A-line floor",
+                        m.config()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_multiplier_is_exact() {
+        // popcount(b) == 1 means a single PP: no OR collision possible.
+        let m = MantissaMultiplier::new(MultiplierConfig::FLA, OperandMode::Int, 8);
+        for a in 0u64..=0xFF {
+            for s in 0..8 {
+                let b = 1u64 << s;
+                assert_eq!(m.multiply(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_multiplier_exact_in_fp_mode() {
+        // b = 1000_0000 (only the implicit one): a single active line, so
+        // the result is exact *at the retained precision* (truncated
+        // configs still floor away the low n columns — that is the
+        // truncation cost, not an OR collision).
+        for m in all_multipliers(8) {
+            for a in fp_mantissas_8() {
+                let b = 0x80u64;
+                assert_eq!(m.multiply(a, b), m.exact_reference(a, b), "{}", m.config());
+            }
+        }
+    }
+
+    #[test]
+    fn pc2_exact_when_only_top_two_bits() {
+        let m = MantissaMultiplier::new(MultiplierConfig::PC2, OperandMode::Fp, 8);
+        for a in fp_mantissas_8() {
+            assert_eq!(m.multiply(a, 0b1100_0000), a * 0b1100_0000);
+        }
+    }
+
+    #[test]
+    fn pc3_exact_when_only_top_three_bits() {
+        let m = MantissaMultiplier::new(MultiplierConfig::PC3, OperandMode::Fp, 8);
+        for a in fp_mantissas_8() {
+            for b in [0b1000_0000u64, 0b1100_0000, 0b1010_0000, 0b1110_0000] {
+                assert_eq!(m.multiply(a, b), a * b, "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fla_is_not_exact_for_top_two_bits() {
+        // The collision PC2 repairs: FLA ORs A and B, losing carries for
+        // almost every multiplicand.
+        let m = MantissaMultiplier::new(MultiplierConfig::FLA, OperandMode::Fp, 8);
+        let a = 0b1111_1111u64;
+        let b = 0b1100_0000u64;
+        assert!(m.multiply(a, b) < a * b);
+    }
+
+    #[test]
+    fn truncated_equals_full_shifted_patterns_or() {
+        // Truncation drops columns *before* the OR (they physically don't
+        // exist); verify against an explicitly-computed reference.
+        let full = MantissaMultiplier::new(MultiplierConfig::PC3, OperandMode::Fp, 8);
+        let tr = MantissaMultiplier::new(MultiplierConfig::PC3_TR, OperandMode::Fp, 8);
+        for a in fp_mantissas_8().step_by(3) {
+            for b in fp_mantissas_8().step_by(3) {
+                let mask = full.layout().decode(b);
+                let mut expect = 0u64;
+                for i in 0..full.layout().len() {
+                    if (mask >> i) & 1 == 1 {
+                        expect |= full.layout().stored_pattern(i, a) >> 8;
+                    }
+                }
+                assert_eq!(tr.multiply(a, b), expect, "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_before_or_differs_from_after() {
+        // Shifting the full OR right is NOT the same as ORing the shifted
+        // patterns when a pre-computed sum carries into the kept columns…
+        // actually pre-sums are computed exactly *then* truncated, so the
+        // stored pattern keeps those carries. Verify at least one operand
+        // pair where (full OR) >> n == truncated OR fails or holds —
+        // the semantics we implement is "truncate each stored line".
+        let full = MantissaMultiplier::new(MultiplierConfig::FLA, OperandMode::Fp, 8);
+        let tr = MantissaMultiplier::new(
+            MultiplierConfig { kind: MultiplierKind::Fla, truncate: true },
+            OperandMode::Fp,
+            8,
+        );
+        // For FLA (no pre-sums) per-line truncation loses exactly the low
+        // columns, so both orders agree.
+        for a in fp_mantissas_8().step_by(17) {
+            for b in fp_mantissas_8().step_by(19) {
+                assert_eq!(tr.multiply(a, b), full.multiply(a, b) >> 8);
+            }
+        }
+    }
+
+    #[test]
+    fn pc3_beats_pc2_beats_fla_on_average() {
+        // Mean relative error must strictly improve with deeper
+        // pre-computation (the reason PC3 exists).
+        let mut errs = Vec::new();
+        for kind in MultiplierKind::ALL {
+            let m = MantissaMultiplier::new(
+                MultiplierConfig { kind, truncate: false },
+                OperandMode::Fp,
+                8,
+            );
+            let mut total = 0.0;
+            let mut count = 0u32;
+            for a in fp_mantissas_8() {
+                for b in fp_mantissas_8() {
+                    let approx = m.multiply(a, b) as f64;
+                    let exact = (a * b) as f64;
+                    total += (exact - approx) / exact;
+                    count += 1;
+                }
+            }
+            errs.push(total / count as f64);
+        }
+        assert!(errs[2] < errs[1], "PC3 {} !< PC2 {}", errs[2], errs[1]);
+        assert!(errs[1] < errs[0], "PC2 {} !< FLA {}", errs[1], errs[0]);
+    }
+
+    #[test]
+    fn int_pc2_loses_lsb_pp() {
+        // Fig. 2 trade-off: with only bit 0 set, the integer-mode PC2
+        // multiplier returns 0.
+        let m = MantissaMultiplier::new(MultiplierConfig::PC2, OperandMode::Int, 8);
+        assert_eq!(m.multiply(0xAB, 0b0000_0001), 0);
+        // …but repairs the A+B collision exactly.
+        assert_eq!(m.multiply(0xAB, 0b1100_0000), 0xAB * 0b1100_0000);
+    }
+
+    #[test]
+    fn int_pc3_extension_is_exact_on_top_three() {
+        let m = MantissaMultiplier::new(MultiplierConfig::PC3, OperandMode::Int, 8);
+        for b in [0b1110_0000u64, 0b0110_0000, 0b1010_0000, 0b0100_0000] {
+            assert_eq!(m.multiply(0xF7, b), 0xF7 * b, "b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn zero_multiplier_gives_zero() {
+        for m in all_multipliers(8) {
+            assert_eq!(m.multiply(0xFF, 0), 0);
+        }
+    }
+
+    #[test]
+    fn fp32_width_works() {
+        let m = MantissaMultiplier::new(MultiplierConfig::PC3_TR, OperandMode::Fp, 24);
+        let a = 0xB5_A3_7Fu64 | (1 << 23);
+        let b = 0x9C_11_55u64 | (1 << 23);
+        let approx = m.to_product_scale(m.multiply(a, b));
+        let exact = a * b;
+        assert!(approx <= exact);
+        // PC3's worst case is just under 20% (exhaustive analysis); any
+        // single pair must stay within that envelope.
+        let rel = (exact - approx) as f64 / exact as f64;
+        assert!(rel < 0.20, "rel error {rel}");
+    }
+
+    #[test]
+    fn result_width_reporting() {
+        let m = MantissaMultiplier::new(MultiplierConfig::PC2, OperandMode::Fp, 8);
+        assert_eq!(m.result_width(), 16);
+        let t = MantissaMultiplier::new(MultiplierConfig::PC2_TR, OperandMode::Fp, 8);
+        assert_eq!(t.result_width(), 8);
+    }
+}

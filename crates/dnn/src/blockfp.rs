@@ -1,0 +1,169 @@
+//! Block-floating-point GEMM: the paper's §IV-B exponent handling
+//! ("this data type only has one exponent per matrix, reducing data
+//! size and improving performance"), executed on the *integer-mode*
+//! approximate multiplier.
+//!
+//! Each operand matrix is quantized into one [`BlockFp`] block (a single
+//! shared exponent + signed mantissas); products multiply mantissa
+//! *magnitudes* through an OR-approximate integer multiplier
+//! (sign-magnitude, signs XORed exactly), accumulate in a 64-bit integer
+//! accumulator, and are rescaled once at the end — no per-product
+//! exponent datapath at all.
+
+use daism_core::{MantissaMultiplier, MultiplierConfig, OperandMode};
+use daism_num::BlockFp;
+
+/// `C[m×n] = A[m×k] · B[k×n]` in block floating point with
+/// `man_width`-bit signed mantissas, multiplied by the approximate
+/// integer multiplier of `config`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape, or `man_width` is
+/// outside `5..=25` (the integer multiplier needs `man_width - 1` in
+/// `4..=24`).
+///
+/// # Examples
+///
+/// ```
+/// use daism_core::MultiplierConfig;
+/// use daism_dnn::blockfp_gemm;
+///
+/// let a = [1.0f32, -0.5, 0.25, 0.75];
+/// let b = [0.5f32, 1.0, -1.0, 0.5];
+/// let c = blockfp_gemm(MultiplierConfig::PC3, 12, &a, &b, 2, 2, 2);
+/// // Exact result: [1.0, 0.75, -0.625, -0.125]; BFP+OR stays close.
+/// assert!((c[0] - 1.0).abs() < 0.15);
+/// ```
+pub fn blockfp_gemm(
+    config: MultiplierConfig,
+    man_width: u32,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    assert!((5..=25).contains(&man_width), "man_width {man_width} outside 5..=25");
+
+    let block_a = BlockFp::quantize(a, man_width);
+    let block_b = BlockFp::quantize(b, man_width);
+    let mult = MantissaMultiplier::new(config, OperandMode::Int, man_width - 1);
+    let mag_limit = (1u64 << (man_width - 1)) - 1;
+
+    // Result scale: each mantissa is value * 2^(w-2-exp); a product of
+    // two mantissas carries 2^(2(w-2) - expA - expB).
+    let scale =
+        2f64.powi(block_a.shared_exp() + block_b.shared_exp() - 2 * (man_width as i32 - 2));
+    let shift_back = if config.truncate { man_width - 1 } else { 0 };
+
+    let ma = block_a.mantissas();
+    let mb = block_b.mantissas();
+    let mut out = vec![0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc: i64 = 0;
+            for l in 0..k {
+                let x = ma[i * k + l];
+                let y = mb[l * n + j];
+                if x == 0 || y == 0 {
+                    continue; // zero bypass
+                }
+                let mag_x = (x.unsigned_abs() as u64).min(mag_limit);
+                let mag_y = (y.unsigned_abs() as u64).min(mag_limit);
+                let mag = mult.multiply(mag_x, mag_y) << shift_back;
+                let sign = (x < 0) ^ (y < 0);
+                acc += if sign { -(mag as i64) } else { mag as i64 };
+            }
+            out[i * n + j] = (acc as f64 * scale) as f32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+    use daism_core::ExactMul;
+
+    fn exact_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0f32; m * n];
+        gemm(&ExactMul, a, b, &mut c, m, k, n);
+        c
+    }
+
+    fn test_mats(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a = (0..m * k).map(|i| ((i * 37 % 19) as f32 - 9.0) / 6.0).collect();
+        let b = (0..k * n).map(|i| ((i * 53 % 23) as f32 - 11.0) / 8.0).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn high_precision_blockfp_close_to_exact() {
+        let (a, b) = test_mats(4, 6, 5);
+        let exact = exact_gemm(&a, &b, 4, 6, 5);
+        let bfp = blockfp_gemm(MultiplierConfig::PC3, 16, &a, &b, 4, 6, 5);
+        let scale: f32 = exact.iter().map(|v| v.abs()).fold(0.0, f32::max);
+        for (e, c) in exact.iter().zip(&bfp) {
+            assert!((e - c).abs() < 0.12 * scale + 0.02, "{e} vs {c}");
+        }
+    }
+
+    #[test]
+    fn error_ladder_holds_for_blockfp() {
+        let (a, b) = test_mats(6, 8, 6);
+        let exact = exact_gemm(&a, &b, 6, 8, 6);
+        let err = |config| {
+            let c = blockfp_gemm(config, 12, &a, &b, 6, 8, 6);
+            exact
+                .iter()
+                .zip(&c)
+                .map(|(e, v)| (e - v).abs() as f64)
+                .sum::<f64>()
+        };
+        let fla = err(MultiplierConfig::FLA);
+        let pc3 = err(MultiplierConfig::PC3);
+        assert!(pc3 < fla, "PC3 {pc3} !< FLA {fla}");
+    }
+
+    #[test]
+    fn zero_matrices_give_zero() {
+        let a = vec![0f32; 6];
+        let b = vec![0f32; 6];
+        let c = blockfp_gemm(MultiplierConfig::PC2, 12, &a, &b, 2, 3, 2);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn magnitudes_never_overestimated() {
+        // OR-approximation on magnitudes: |approx| <= |bfp-exact| per
+        // product, so a single-product GEMM must not overestimate.
+        let a = [0.73f32];
+        let b = [1.91f32];
+        for config in MultiplierConfig::ALL {
+            let c = blockfp_gemm(config, 12, &a, &b, 1, 1, 1);
+            assert!(c[0] <= 0.73 * 1.91 * 1.001, "{config}: {}", c[0]);
+            assert!(c[0] > 0.0);
+        }
+    }
+
+    #[test]
+    fn truncated_config_rescales_correctly() {
+        let (a, b) = test_mats(3, 4, 3);
+        let exact = exact_gemm(&a, &b, 3, 4, 3);
+        let tr = blockfp_gemm(MultiplierConfig::PC3_TR, 16, &a, &b, 3, 4, 3);
+        let scale: f32 = exact.iter().map(|v| v.abs()).fold(0.0, f32::max);
+        for (e, c) in exact.iter().zip(&tr) {
+            assert!((e - c).abs() < 0.15 * scale + 0.02, "{e} vs {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 5..=25")]
+    fn rejects_tiny_width() {
+        let _ = blockfp_gemm(MultiplierConfig::FLA, 4, &[1.0], &[1.0], 1, 1, 1);
+    }
+}

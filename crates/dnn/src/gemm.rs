@@ -1,0 +1,133 @@
+use daism_core::ScalarMul;
+
+/// `C[m×n] = A[m×k] · B[k×n]` (row-major), with every scalar product
+/// routed through `mul` and accumulation at `f32`.
+///
+/// When `mul` is native `f32` multiplication
+/// ([`ScalarMul::is_native_f32`]), a tight loop without per-element
+/// dispatch is used — identical results, much faster training.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape.
+///
+/// # Examples
+///
+/// ```
+/// use daism_core::ExactMul;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+/// let b = [5.0, 6.0, 7.0, 8.0]; // 2x2
+/// let mut c = [0.0f32; 4];
+/// daism_dnn::gemm(&ExactMul, &a, &b, &mut c, 2, 2, 2);
+/// assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn gemm(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    assert_eq!(c.len(), m * n, "C has wrong length");
+    if mul.is_native_f32() {
+        for i in 0..m {
+            for l in 0..k {
+                let av = a[i * k + l];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[l * n..(l + 1) * n];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    } else {
+        for i in 0..m {
+            for l in 0..k {
+                let av = a[i * k + l];
+                if av == 0.0 {
+                    continue; // zero bypass, as the hardware does
+                }
+                let brow = &b[l * n..(l + 1) * n];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    if *bv != 0.0 {
+                        *cv += mul.mul(av, *bv);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daism_core::{ApproxFpMul, ExactMul, MultiplierConfig, QuantizedExactMul};
+    use daism_num::FpFormat;
+
+    #[test]
+    fn exact_gemm_matches_manual() {
+        let a = [1.0, 0.0, 2.0, -1.0, 3.0, 1.0]; // 2x3
+        let b = [2.0, 1.0, 0.0, -1.0, 1.0, 2.0]; // 3x2
+        let mut c = [0.0f32; 4];
+        gemm(&ExactMul, &a, &b, &mut c, 2, 3, 2);
+        // Row 0: [1,0,2]·cols -> (2+0+2, 1+0+4); row 1: [-1,3,1] ->
+        // (-2+0+1, -1-3+2).
+        assert_eq!(c, [4.0, 5.0, -1.0, -2.0]);
+    }
+
+    #[test]
+    fn fast_path_equals_slow_path_for_exact() {
+        // The native-f32 fast path must produce bit-identical results to
+        // routing ExactMul through the dispatched loop. QuantizedExactMul
+        // at FP32 is semantically f32-exact but takes the slow path.
+        let a: Vec<f32> = (0..12).map(|i| (i as f32 - 5.0) / 3.0).collect();
+        let b: Vec<f32> = (0..20).map(|i| (i as f32 + 1.0) / 7.0).collect();
+        let mut fast = vec![0.0f32; 15];
+        let mut slow = vec![0.0f32; 15];
+        gemm(&ExactMul, &a, &b, &mut fast, 3, 4, 5);
+        gemm(&QuantizedExactMul::new(FpFormat::FP32), &a, &b, &mut slow, 3, 4, 5);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn approx_gemm_underestimates() {
+        let mul = ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::BF16);
+        let a = vec![1.3f32; 16];
+        let b = vec![1.7f32; 16];
+        let mut approx = vec![0.0f32; 16];
+        let mut exact = vec![0.0f32; 16];
+        gemm(&mul, &a, &b, &mut approx, 4, 4, 4);
+        gemm(&ExactMul, &a, &b, &mut exact, 4, 4, 4);
+        for (ap, ex) in approx.iter().zip(&exact) {
+            assert!(ap <= ex);
+            assert!(*ap > 0.5 * ex);
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = [1.0f32];
+        let b = [1.0f32];
+        let mut c = [10.0f32];
+        gemm(&ExactMul, &a, &b, &mut c, 1, 1, 1);
+        assert_eq!(c[0], 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn shape_mismatch_panics() {
+        let mut c = [0.0f32; 1];
+        gemm(&ExactMul, &[1.0, 2.0], &[1.0], &mut c, 1, 1, 1);
+    }
+}

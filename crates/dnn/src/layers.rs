@@ -1,0 +1,775 @@
+use crate::gemm::gemm;
+use crate::tensor::Tensor;
+use daism_core::ScalarMul;
+
+/// A trainable parameter: value, gradient accumulator and SGD momentum
+/// buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Tensor,
+    /// Momentum buffer (owned here so the optimiser can stay stateless).
+    pub velocity: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with zeroed gradient/momentum.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        let velocity = Tensor::zeros(value.shape());
+        Param { value, grad, velocity }
+    }
+
+    /// Zeroes the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// A differentiable layer. Every multiplication in `forward` *and*
+/// `backward` routes through the given [`ScalarMul`], so networks can be
+/// trained and evaluated under exact or approximate arithmetic.
+pub trait Layer {
+    /// Forward pass; caches whatever `backward` will need.
+    fn forward(&mut self, x: &Tensor, mul: &dyn ScalarMul, training: bool) -> Tensor;
+
+    /// Backward pass: consumes the gradient w.r.t. this layer's output,
+    /// accumulates parameter gradients, returns the gradient w.r.t. the
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, grad: &Tensor, mul: &dyn ScalarMul) -> Tensor;
+
+    /// Mutable access to the layer's parameters (empty by default).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Layer name for summaries.
+    fn name(&self) -> String;
+}
+
+// -------------------------------------------------------------------
+// Dense
+// -------------------------------------------------------------------
+
+/// Fully-connected layer: `y = x · Wᵀ + b` over `[batch, features]`.
+#[derive(Debug)]
+pub struct Dense {
+    w: Param,
+    b: Param,
+    in_features: usize,
+    out_features: usize,
+    cache_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// Kaiming-normal initialised layer.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let std = (2.0 / in_features as f32).sqrt();
+        Dense {
+            w: Param::new(Tensor::randn(&[out_features, in_features], std, seed)),
+            b: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cache_x: None,
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor, mul: &dyn ScalarMul, training: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "Dense expects [batch, features]");
+        assert_eq!(x.shape()[1], self.in_features, "Dense input width mismatch");
+        let batch = x.shape()[0];
+        // Transpose W once: [in, out].
+        let mut wt = vec![0.0f32; self.in_features * self.out_features];
+        for o in 0..self.out_features {
+            for i in 0..self.in_features {
+                wt[i * self.out_features + o] = self.w.value.data()[o * self.in_features + i];
+            }
+        }
+        let mut y = Tensor::zeros(&[batch, self.out_features]);
+        gemm(mul, x.data(), &wt, y.data_mut(), batch, self.in_features, self.out_features);
+        for n in 0..batch {
+            for o in 0..self.out_features {
+                y.data_mut()[n * self.out_features + o] += self.b.value.data()[o];
+            }
+        }
+        if training {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor, mul: &dyn ScalarMul) -> Tensor {
+        let x = self.cache_x.as_ref().expect("Dense::backward before forward");
+        let batch = x.shape()[0];
+        // grad_w[o,i] += sum_n grad[n,o] * x[n,i]  (gradᵀ · x)
+        let mut gt = vec![0.0f32; self.out_features * batch];
+        for n in 0..batch {
+            for o in 0..self.out_features {
+                gt[o * batch + n] = grad[(n, o)];
+            }
+        }
+        gemm(
+            mul,
+            &gt,
+            x.data(),
+            self.w.grad.data_mut(),
+            self.out_features,
+            batch,
+            self.in_features,
+        );
+        // grad_b[o] += sum_n grad[n,o]
+        for n in 0..batch {
+            for o in 0..self.out_features {
+                self.b.grad.data_mut()[o] += grad[(n, o)];
+            }
+        }
+        // grad_x = grad · W  ([batch,out]·[out,in])
+        let mut gx = Tensor::zeros(&[batch, self.in_features]);
+        gemm(
+            mul,
+            grad.data(),
+            self.w.value.data(),
+            gx.data_mut(),
+            batch,
+            self.out_features,
+            self.in_features,
+        );
+        gx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn name(&self) -> String {
+        format!("Dense({}->{})", self.in_features, self.out_features)
+    }
+}
+
+// -------------------------------------------------------------------
+// Conv2d
+// -------------------------------------------------------------------
+
+/// 2-D convolution over `[batch, ch, h, w]`, lowered to an im2col GEMM —
+/// exactly the lowering the DAISM accelerator executes (each kernel
+/// matrix column becomes a wordline-group segment).
+#[derive(Debug)]
+pub struct Conv2d {
+    w: Param,
+    b: Param,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cache_x: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Kaiming-normal initialised convolution.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        let fan_in = (in_ch * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        Conv2d {
+            w: Param::new(Tensor::randn(&[out_ch, in_ch * kernel * kernel], std, seed)),
+            b: Param::new(Tensor::zeros(&[out_ch])),
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            padding,
+            cache_x: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.padding - self.kernel) / self.stride + 1,
+            (w + 2 * self.padding - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// im2col for one sample: returns `[in_ch·k·k, oh·ow]`.
+    fn im2col(&self, x: &Tensor, n: usize) -> Vec<f32> {
+        let (h, w) = (x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let kk = self.kernel;
+        let rows = self.in_ch * kk * kk;
+        let mut cols = vec![0.0f32; rows * oh * ow];
+        for c in 0..self.in_ch {
+            for ki in 0..kk {
+                for kj in 0..kk {
+                    let row = (c * kk + ki) * kk + kj;
+                    for oi in 0..oh {
+                        let src_i = (oi * self.stride + ki) as isize - self.padding as isize;
+                        if src_i < 0 || src_i >= h as isize {
+                            continue;
+                        }
+                        for oj in 0..ow {
+                            let src_j =
+                                (oj * self.stride + kj) as isize - self.padding as isize;
+                            if src_j < 0 || src_j >= w as isize {
+                                continue;
+                            }
+                            cols[row * oh * ow + oi * ow + oj] =
+                                x.data()[x.offset4(n, c, src_i as usize, src_j as usize)];
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    /// Scatter-adds a `[in_ch·k·k, oh·ow]` gradient back to image space.
+    fn col2im(&self, cols: &[f32], gx: &mut Tensor, n: usize) {
+        let (h, w) = (gx.shape()[2], gx.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let kk = self.kernel;
+        for c in 0..self.in_ch {
+            for ki in 0..kk {
+                for kj in 0..kk {
+                    let row = (c * kk + ki) * kk + kj;
+                    for oi in 0..oh {
+                        let src_i = (oi * self.stride + ki) as isize - self.padding as isize;
+                        if src_i < 0 || src_i >= h as isize {
+                            continue;
+                        }
+                        for oj in 0..ow {
+                            let src_j =
+                                (oj * self.stride + kj) as isize - self.padding as isize;
+                            if src_j < 0 || src_j >= w as isize {
+                                continue;
+                            }
+                            let off = gx.offset4(n, c, src_i as usize, src_j as usize);
+                            gx.data_mut()[off] += cols[row * oh * ow + oi * ow + oj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, mul: &dyn ScalarMul, training: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "Conv2d expects [batch, ch, h, w]");
+        assert_eq!(x.shape()[1], self.in_ch, "Conv2d channel mismatch");
+        let (batch, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let kdim = self.in_ch * self.kernel * self.kernel;
+        let mut y = Tensor::zeros(&[batch, self.out_ch, oh, ow]);
+        for n in 0..batch {
+            let cols = self.im2col(x, n);
+            let out_off = n * self.out_ch * oh * ow;
+            gemm(
+                mul,
+                self.w.value.data(),
+                &cols,
+                &mut y.data_mut()[out_off..out_off + self.out_ch * oh * ow],
+                self.out_ch,
+                kdim,
+                oh * ow,
+            );
+            for c in 0..self.out_ch {
+                let b = self.b.value.data()[c];
+                for v in
+                    &mut y.data_mut()[out_off + c * oh * ow..out_off + (c + 1) * oh * ow]
+                {
+                    *v += b;
+                }
+            }
+        }
+        if training {
+            self.cache_x = Some(x.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor, mul: &dyn ScalarMul) -> Tensor {
+        let x = self.cache_x.as_ref().expect("Conv2d::backward before forward").clone();
+        let (batch, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let kdim = self.in_ch * self.kernel * self.kernel;
+        let p = oh * ow;
+        let mut gx = Tensor::zeros(x.shape());
+        for n in 0..batch {
+            let cols = self.im2col(&x, n);
+            let g = &grad.data()[n * self.out_ch * p..(n + 1) * self.out_ch * p];
+            // grad_w += g · colsᵀ : build colsᵀ [p × kdim].
+            let mut colst = vec![0.0f32; p * kdim];
+            for r in 0..kdim {
+                for q in 0..p {
+                    colst[q * kdim + r] = cols[r * p + q];
+                }
+            }
+            gemm(mul, g, &colst, self.w.grad.data_mut(), self.out_ch, p, kdim);
+            // grad_b += row sums of g.
+            for c in 0..self.out_ch {
+                let sum: f32 = g[c * p..(c + 1) * p].iter().sum();
+                self.b.grad.data_mut()[c] += sum;
+            }
+            // grad_cols = Wᵀ · g : build Wᵀ [kdim × out_ch].
+            let mut wt = vec![0.0f32; kdim * self.out_ch];
+            for c in 0..self.out_ch {
+                for r in 0..kdim {
+                    wt[r * self.out_ch + c] = self.w.value.data()[c * kdim + r];
+                }
+            }
+            let mut gcols = vec![0.0f32; kdim * p];
+            gemm(mul, &wt, g, &mut gcols, kdim, self.out_ch, p);
+            self.col2im(&gcols, &mut gx, n);
+        }
+        gx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Conv2d({}->{}, {}x{}, s{}, p{})",
+            self.in_ch, self.out_ch, self.kernel, self.kernel, self.stride, self.padding
+        )
+    }
+}
+
+// -------------------------------------------------------------------
+// Activations / pooling / reshape
+// -------------------------------------------------------------------
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// A fresh ReLU.
+    pub fn new() -> Self {
+        ReLU::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, x: &Tensor, _mul: &dyn ScalarMul, training: bool) -> Tensor {
+        if training {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad: &Tensor, _mul: &dyn ScalarMul) -> Tensor {
+        let mask = self.mask.as_ref().expect("ReLU::backward before forward");
+        let data =
+            grad.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
+        Tensor::from_vec(data, grad.shape())
+    }
+
+    fn name(&self) -> String {
+        "ReLU".into()
+    }
+}
+
+/// 2×2 max pooling with stride 2 over `[batch, ch, h, w]`.
+#[derive(Debug, Default)]
+pub struct MaxPool2d {
+    argmax: Option<Vec<usize>>,
+    in_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// A fresh 2×2/stride-2 pool.
+    pub fn new() -> Self {
+        MaxPool2d::default()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _mul: &dyn ScalarMul, training: bool) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "MaxPool2d expects [batch, ch, h, w]");
+        let (batch, ch, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2d needs even spatial dims, got {h}x{w}");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut y = Tensor::zeros(&[batch, ch, oh, ow]);
+        let mut argmax = vec![0usize; batch * ch * oh * ow];
+        let mut oi = 0;
+        for n in 0..batch {
+            for c in 0..ch {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0;
+                        for di in 0..2 {
+                            for dj in 0..2 {
+                                let off = x.offset4(n, c, 2 * i + di, 2 * j + dj);
+                                if x.data()[off] > best {
+                                    best = x.data()[off];
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        y.data_mut()[oi] = best;
+                        argmax[oi] = best_off;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        if training {
+            self.argmax = Some(argmax);
+            self.in_shape = Some(x.shape().to_vec());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor, _mul: &dyn ScalarMul) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("MaxPool2d::backward before forward");
+        let shape = self.in_shape.as_ref().expect("MaxPool2d::backward before forward");
+        let mut gx = Tensor::zeros(shape);
+        for (g, &off) in grad.data().iter().zip(argmax) {
+            gx.data_mut()[off] += g;
+        }
+        gx
+    }
+
+    fn name(&self) -> String {
+        "MaxPool2d(2x2)".into()
+    }
+}
+
+/// Flattens `[batch, …]` to `[batch, features]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// A fresh flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _mul: &dyn ScalarMul, training: bool) -> Tensor {
+        let batch = x.shape()[0];
+        let features = x.len() / batch;
+        if training {
+            self.in_shape = Some(x.shape().to_vec());
+        }
+        x.reshape(&[batch, features])
+    }
+
+    fn backward(&mut self, grad: &Tensor, _mul: &dyn ScalarMul) -> Tensor {
+        let shape = self.in_shape.as_ref().expect("Flatten::backward before forward");
+        grad.reshape(shape)
+    }
+
+    fn name(&self) -> String {
+        "Flatten".into()
+    }
+}
+
+// -------------------------------------------------------------------
+// Containers
+// -------------------------------------------------------------------
+
+/// A residual block: `y = inner(x) + x` (shapes must match), the
+/// skip-connection structure of the paper's ResNet-50 accuracy target.
+pub struct Residual {
+    inner: Sequential,
+}
+
+impl Residual {
+    /// Wraps an inner chain whose output shape equals its input shape.
+    pub fn new(inner: Sequential) -> Self {
+        Residual { inner }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, x: &Tensor, mul: &dyn ScalarMul, training: bool) -> Tensor {
+        let y = self.inner.forward(x, mul, training);
+        assert_eq!(y.shape(), x.shape(), "Residual inner must preserve shape");
+        y.add(x)
+    }
+
+    fn backward(&mut self, grad: &Tensor, mul: &dyn ScalarMul) -> Tensor {
+        let g_inner = self.inner.backward(grad, mul);
+        g_inner.add(grad)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.inner.params_mut()
+    }
+
+    fn name(&self) -> String {
+        format!("Residual[{}]", self.inner.name())
+    }
+}
+
+/// An ordered chain of layers.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, mul: &dyn ScalarMul, training: bool) -> Tensor {
+        let mut out = x.clone();
+        for layer in &mut self.layers {
+            out = layer.forward(&out, mul, training);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor, mul: &dyn ScalarMul) -> Tensor {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g, mul);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn name(&self) -> String {
+        let names: Vec<String> = self.layers.iter().map(|l| l.name()).collect();
+        names.join(" -> ")
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential[{}]", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daism_core::ExactMul;
+
+    /// Finite-difference gradient check for a layer's parameters.
+    fn grad_check(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
+        let mul = ExactMul;
+        // Loss = sum of outputs (so dL/dy = 1 everywhere).
+        let y = layer.forward(x, &mul, true);
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape());
+        for p in layer.params_mut() {
+            p.zero_grad();
+        }
+        let _ = layer.forward(x, &mul, true);
+        let _gx = layer.backward(&ones, &mul);
+
+        // Collect analytic grads first (param borrows end between loops).
+        let analytic: Vec<Vec<f32>> =
+            layer.params_mut().iter_mut().map(|p| p.grad.data().to_vec()).collect();
+
+        let eps = 1e-2f32;
+        let n_params = analytic.len();
+        for pi in 0..n_params {
+            let n_elems = analytic[pi].len().min(8); // spot-check a few
+            for e in 0..n_elems {
+                let orig = {
+                    let mut params = layer.params_mut();
+                    let v = params[pi].value.data()[e];
+                    params[pi].value.data_mut()[e] = v + eps;
+                    v
+                };
+                let y_plus: f32 = layer.forward(x, &ExactMul, false).data().iter().sum();
+                {
+                    let mut params = layer.params_mut();
+                    params[pi].value.data_mut()[e] = orig - eps;
+                }
+                let y_minus: f32 = layer.forward(x, &ExactMul, false).data().iter().sum();
+                {
+                    let mut params = layer.params_mut();
+                    params[pi].value.data_mut()[e] = orig;
+                }
+                let numeric = (y_plus - y_minus) / (2.0 * eps);
+                let a = analytic[pi][e];
+                assert!(
+                    (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                    "param {pi} elem {e}: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let mut d = Dense::new(2, 2, 1);
+        d.w.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        d.b.value = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = d.forward(&x, &ExactMul, false);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_gradients_check_out() {
+        let mut d = Dense::new(3, 4, 7);
+        let x = Tensor::randn(&[2, 3], 1.0, 11);
+        grad_check(&mut d, &x, 2e-2);
+    }
+
+    #[test]
+    fn conv_gradients_check_out() {
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, 5);
+        let x = Tensor::randn(&[2, 2, 4, 4], 1.0, 13);
+        grad_check(&mut c, &x, 2e-2);
+    }
+
+    #[test]
+    fn conv_input_gradient_check() {
+        // Finite-difference check on dL/dx for the conv (col2im path).
+        let mul = ExactMul;
+        let mut c = Conv2d::new(1, 2, 3, 1, 1, 3);
+        let x = Tensor::randn(&[1, 1, 4, 4], 1.0, 17);
+        let y = c.forward(&x, &mul, true);
+        let ones = Tensor::from_vec(vec![1.0; y.len()], y.shape());
+        let gx = c.backward(&ones, &mul);
+        let eps = 1e-2f32;
+        for e in [0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[e] += eps;
+            let yp: f32 = c.forward(&xp, &mul, false).data().iter().sum();
+            let mut xm = x.clone();
+            xm.data_mut()[e] -= eps;
+            let ym: f32 = c.forward(&xm, &mul, false).data().iter().sum();
+            let numeric = (yp - ym) / (2.0 * eps);
+            assert!(
+                (gx.data()[e] - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "elem {e}: {} vs {numeric}",
+                gx.data()[e]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_known_answer() {
+        // 1-channel 3x3 input, 1 filter of all ones, no padding: output
+        // is the sum of the input.
+        let mut c = Conv2d::new(1, 1, 3, 1, 0, 1);
+        c.w.value = Tensor::from_vec(vec![1.0; 9], &[1, 9]);
+        c.b.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]);
+        let y = c.forward(&x, &ExactMul, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 45.0);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![1.0, -1.0, 0.5, -0.5], &[1, 4]);
+        let y = r.forward(&x, &ExactMul, true);
+        assert_eq!(y.data(), &[1.0, 0.0, 0.5, 0.0]);
+        let g = Tensor::from_vec(vec![1.0; 4], &[1, 4]);
+        let gx = r.backward(&g, &ExactMul);
+        assert_eq!(gx.data(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let mut p = MaxPool2d::new();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
+        let y = p.forward(&x, &ExactMul, true);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let gx = p.backward(&g, &ExactMul);
+        assert_eq!(gx.data()[5], 1.0); // position of 6
+        assert_eq!(gx.data()[7], 2.0); // position of 8
+        assert_eq!(gx.data()[15], 4.0); // position of 16
+        assert_eq!(gx.data().iter().sum::<f32>(), 10.0);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::randn(&[2, 3, 2, 2], 1.0, 1);
+        let y = f.forward(&x, &ExactMul, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        let gx = f.backward(&y, &ExactMul);
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn residual_adds_input_and_splits_gradient() {
+        let inner = Sequential::new().push(Dense::new(3, 3, 2));
+        let mut r = Residual::new(inner);
+        let x = Tensor::randn(&[2, 3], 1.0, 9);
+        let y = r.forward(&x, &ExactMul, true);
+        assert_eq!(y.shape(), x.shape());
+        let g = Tensor::from_vec(vec![1.0; 6], &[2, 3]);
+        let gx = r.backward(&g, &ExactMul);
+        // Gradient through the skip path alone contributes `g`.
+        for (gv, _) in gx.data().iter().zip(g.data()) {
+            assert!(gv.is_finite());
+        }
+        assert_eq!(r.params_mut().len(), 2);
+    }
+
+    #[test]
+    fn sequential_composes() {
+        let mut model = Sequential::new()
+            .push(Dense::new(4, 8, 1))
+            .push(ReLU::new())
+            .push(Dense::new(8, 2, 2));
+        let x = Tensor::randn(&[3, 4], 1.0, 3);
+        let y = model.forward(&x, &ExactMul, true);
+        assert_eq!(y.shape(), &[3, 2]);
+        let g = Tensor::from_vec(vec![1.0; 6], &[3, 2]);
+        let gx = model.backward(&g, &ExactMul);
+        assert_eq!(gx.shape(), &[3, 4]);
+        assert_eq!(model.params_mut().len(), 4);
+        assert!(model.name().contains("ReLU"));
+    }
+}

@@ -1,0 +1,53 @@
+//! A minimal DNN training/inference framework with pluggable scalar
+//! multipliers — the substrate for the paper's accuracy evaluation
+//! (Fig. 4) and its "training and inference" title claim.
+//!
+//! The paper evaluates accuracy on ImageNet-scale CNNs (ResNet-50 etc.);
+//! neither the dataset nor pretrained weights can ship with this
+//! reproduction, so the substitution documented in DESIGN.md applies:
+//! small models are trained *in-repo* on deterministic synthetic tasks,
+//! then evaluated under every multiplier backend. The error mechanism
+//! being measured — OR-approximate mantissa products flowing through
+//! convolutions, fully-connected layers and argmax — is the same.
+//!
+//! Every multiply in every layer (forward *and* backward) goes through a
+//! [`ScalarMul`](daism_core::ScalarMul) backend, so the same network can
+//! run exact-`f32`, exact-`bfloat16` or any DAISM configuration, for
+//! both inference and training.
+//!
+//! # Example
+//!
+//! ```
+//! use daism_dnn::{datasets, models, train};
+//! use daism_core::{ApproxFpMul, ExactMul, MultiplierConfig, ScalarMul};
+//! use daism_num::FpFormat;
+//!
+//! // Train a small MLP on a synthetic task with exact arithmetic…
+//! let data = datasets::gaussian_blobs(3, 8, 120, 40, 7);
+//! let mut model = models::mlp(8, 16, 3, 1);
+//! let exact = ExactMul;
+//! train::fit(&mut model, &data, &exact, &train::TrainParams::quick_test());
+//!
+//! // …then evaluate the same weights on the approximate multiplier.
+//! let approx = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+//! let exact_acc = train::accuracy(&mut model, &data.test_x, &data.test_y, &exact);
+//! let approx_acc = train::accuracy(&mut model, &data.test_x, &data.test_y, &approx);
+//! assert!(exact_acc > 0.6);
+//! assert!(approx_acc > exact_acc - 0.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blockfp;
+pub mod datasets;
+mod gemm;
+mod layers;
+pub mod models;
+mod tensor;
+pub mod train;
+
+pub use blockfp::blockfp_gemm;
+pub use gemm::gemm;
+pub use layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Param, ReLU, Residual, Sequential};
+pub use tensor::Tensor;

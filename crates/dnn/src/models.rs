@@ -1,0 +1,112 @@
+//! Model zoo for the accuracy experiments: the three architectures the
+//! Fig. 4 substitution evaluates (an MLP, a VGG-style CNN and a small
+//! residual network standing in for the paper's large ImageNet models).
+
+use crate::layers::{Conv2d, Dense, Flatten, MaxPool2d, ReLU, Residual, Sequential};
+
+/// A `depth`-hidden-layer MLP: `in → hidden (×depth, ReLU) → classes`.
+pub fn mlp(in_dim: usize, hidden: usize, classes: usize, depth: usize) -> Sequential {
+    let mut model = Sequential::new();
+    let mut prev = in_dim;
+    for d in 0..depth.max(1) {
+        model = model.push(Dense::new(prev, hidden, 100 + d as u64)).push(ReLU::new());
+        prev = hidden;
+    }
+    model.push(Dense::new(prev, classes, 199))
+}
+
+/// A VGG-style CNN for `1×size×size` inputs (two conv/pool stages, two
+/// dense layers) — the scaled-down analogue of the paper's VGG-8.
+///
+/// # Panics
+///
+/// Panics if `size` is not divisible by 4 (two 2× pools).
+pub fn mini_vgg(size: usize, classes: usize) -> Sequential {
+    assert!(size % 4 == 0, "mini_vgg needs size divisible by 4, got {size}");
+    let after_pools = size / 4;
+    Sequential::new()
+        .push(Conv2d::new(1, 8, 3, 1, 1, 201))
+        .push(ReLU::new())
+        .push(MaxPool2d::new())
+        .push(Conv2d::new(8, 16, 3, 1, 1, 202))
+        .push(ReLU::new())
+        .push(MaxPool2d::new())
+        .push(Flatten::new())
+        .push(Dense::new(16 * after_pools * after_pools, 32, 203))
+        .push(ReLU::new())
+        .push(Dense::new(32, classes, 204))
+}
+
+/// A small residual CNN (two skip-connected conv blocks) — the
+/// scaled-down analogue of the paper's ResNet-50 accuracy target.
+///
+/// # Panics
+///
+/// Panics if `size` is not divisible by 4.
+pub fn tiny_resnet(size: usize, classes: usize) -> Sequential {
+    assert!(size % 4 == 0, "tiny_resnet needs size divisible by 4, got {size}");
+    let after_pools = size / 4;
+    let block = |seed: u64| {
+        Residual::new(
+            Sequential::new()
+                .push(Conv2d::new(8, 8, 3, 1, 1, seed))
+                .push(ReLU::new())
+                .push(Conv2d::new(8, 8, 3, 1, 1, seed + 1)),
+        )
+    };
+    Sequential::new()
+        .push(Conv2d::new(1, 8, 3, 1, 1, 301))
+        .push(ReLU::new())
+        .push(block(302))
+        .push(ReLU::new())
+        .push(MaxPool2d::new())
+        .push(block(304))
+        .push(ReLU::new())
+        .push(MaxPool2d::new())
+        .push(Flatten::new())
+        .push(Dense::new(8 * after_pools * after_pools, classes, 306))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Layer;
+    use crate::tensor::Tensor;
+    use daism_core::ExactMul;
+
+    #[test]
+    fn mlp_shape() {
+        let mut m = mlp(8, 16, 3, 2);
+        let x = Tensor::randn(&[5, 8], 1.0, 1);
+        let y = m.forward(&x, &ExactMul, false);
+        assert_eq!(y.shape(), &[5, 3]);
+        // 3 dense layers x 2 params.
+        assert_eq!(m.params_mut().len(), 6);
+    }
+
+    #[test]
+    fn mini_vgg_shape() {
+        let mut m = mini_vgg(12, 4);
+        let x = Tensor::randn(&[2, 1, 12, 12], 1.0, 2);
+        let y = m.forward(&x, &ExactMul, false);
+        assert_eq!(y.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn tiny_resnet_shape_and_backward() {
+        let mut m = tiny_resnet(8, 4);
+        let x = Tensor::randn(&[2, 1, 8, 8], 1.0, 3);
+        let y = m.forward(&x, &ExactMul, true);
+        assert_eq!(y.shape(), &[2, 4]);
+        let g = Tensor::from_vec(vec![1.0; y.len()], y.shape());
+        let gx = m.backward(&g, &ExactMul);
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gx.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn mini_vgg_rejects_odd_size() {
+        let _ = mini_vgg(10, 4);
+    }
+}

@@ -1,0 +1,182 @@
+use std::fmt;
+
+/// A named energy breakdown (the shape of the paper's Fig. 5 bars).
+///
+/// Components keep insertion order; re-adding a name accumulates into the
+/// existing entry.
+///
+/// # Examples
+///
+/// ```
+/// use daism_energy::EnergyBreakdown;
+///
+/// let mut b = EnergyBreakdown::new("per computation");
+/// b.add("memory read", 1.4);
+/// b.add("address decoder", 0.004);
+/// b.add("memory read", 0.1);
+/// assert_eq!(b.get("memory read"), Some(1.5));
+/// assert!((b.total_pj() - 1.504).abs() < 1e-12);
+/// assert!(b.fraction("address decoder").unwrap() < 0.005);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    label: String,
+    entries: Vec<(String, f64)>,
+}
+
+impl EnergyBreakdown {
+    /// Creates an empty breakdown with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        EnergyBreakdown { label: label.into(), entries: Vec::new() }
+    }
+
+    /// The breakdown's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Adds `pj` to component `name` (creating it if absent).
+    pub fn add(&mut self, name: impl AsRef<str>, pj: f64) {
+        let name = name.as_ref();
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += pj;
+        } else {
+            self.entries.push((name.to_owned(), pj));
+        }
+    }
+
+    /// The energy of one component, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.entries.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Fraction of the total contributed by `name`.
+    pub fn fraction(&self, name: &str) -> Option<f64> {
+        let total = self.total_pj();
+        if total == 0.0 {
+            return None;
+        }
+        self.get(name).map(|v| v / total)
+    }
+
+    /// Iterates `(name, pj)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Returns a copy with every component scaled by `factor` (e.g. for
+    /// per-computation → per-layer roll-ups).
+    pub fn scaled(&self, factor: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            label: self.label.clone(),
+            entries: self.entries.iter().map(|(n, v)| (n.clone(), v * factor)).collect(),
+        }
+    }
+
+    /// Merges another breakdown into this one, component by component.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        for (name, pj) in other.iter() {
+            self.add(name, pj);
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no components were added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_pj();
+        writeln!(f, "{}: {:.4} pJ total", self.label, total)?;
+        for (name, pj) in self.iter() {
+            let pct = if total > 0.0 { 100.0 * pj / total } else { 0.0 };
+            writeln!(f, "  {name:<24} {pj:>10.4} pJ  ({pct:>5.2}%)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_same_name() {
+        let mut b = EnergyBreakdown::new("t");
+        b.add("x", 1.0);
+        b.add("x", 2.0);
+        b.add("y", 0.5);
+        assert_eq!(b.get("x"), Some(3.0));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.total_pj(), 3.5);
+    }
+
+    #[test]
+    fn fraction_of_missing_is_none() {
+        let mut b = EnergyBreakdown::new("t");
+        b.add("x", 1.0);
+        assert_eq!(b.fraction("z"), None);
+        assert_eq!(b.fraction("x"), Some(1.0));
+    }
+
+    #[test]
+    fn empty_breakdown_has_no_fractions() {
+        let b = EnergyBreakdown::new("t");
+        assert!(b.is_empty());
+        assert_eq!(b.fraction("x"), None);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_entry() {
+        let mut b = EnergyBreakdown::new("t");
+        b.add("x", 2.0);
+        b.add("y", 3.0);
+        let s = b.scaled(10.0);
+        assert_eq!(s.get("x"), Some(20.0));
+        assert_eq!(s.total_pj(), 50.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = EnergyBreakdown::new("a");
+        a.add("x", 1.0);
+        let mut b = EnergyBreakdown::new("b");
+        b.add("x", 2.0);
+        b.add("y", 4.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(3.0));
+        assert_eq!(a.get("y"), Some(4.0));
+    }
+
+    #[test]
+    fn display_contains_percentages() {
+        let mut b = EnergyBreakdown::new("per comp");
+        b.add("memory read", 3.0);
+        b.add("decoder", 1.0);
+        let s = b.to_string();
+        assert!(s.contains("memory read"));
+        assert!(s.contains("75.00%"));
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut b = EnergyBreakdown::new("t");
+        b.add("c", 1.0);
+        b.add("a", 1.0);
+        b.add("b", 1.0);
+        let names: Vec<&str> = b.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["c", "a", "b"]);
+    }
+}

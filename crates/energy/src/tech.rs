@@ -1,0 +1,224 @@
+use std::fmt;
+
+/// A CMOS technology node with the scaling data the reproduction needs:
+/// dynamic-energy / area scaling relative to the 45 nm baseline all
+/// digital constants are calibrated at, and the gate-equivalent (GE) area
+/// normalisation used by the paper's Table II.
+///
+/// # Gate-equivalent area
+///
+/// Table II compares DAISM (45 nm) with Z-PIM (65 nm) and T-PIM (28 nm) by
+/// re-expressing each chip's area in the gate density of a common
+/// reference node, citing the ITRS "overall roadmap technology
+/// characteristics" table. The published rows imply the factors stored
+/// here:
+///
+/// | chip  | node  | area  | GE area       | factor        |
+/// |-------|-------|-------|---------------|---------------|
+/// | DAISM | 45 nm | 2.44  | 3.81          | 1.561         |
+/// | DAISM | 45 nm | 4.23  | 6.61          | 1.563         |
+/// | Z-PIM | 65 nm | 7.57  | 5.91          | 0.781         |
+/// | T-PIM | 28 nm | 5.04  | 15.51–24.83   | 3.077–4.927   |
+///
+/// (T-PIM is a range because the 2003 ITRS table the paper cites does not
+/// reach 28 nm, so its density must be extrapolated.)
+///
+/// # Examples
+///
+/// ```
+/// use daism_energy::TechNode;
+///
+/// let (lo, hi) = TechNode::N45.ge_area_mm2(2.44);
+/// assert!((lo - 3.81).abs() < 0.01);
+/// assert_eq!(lo, hi); // 45 nm factor is a single point
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechNode {
+    /// 45 nm (NANGATE45) — the node DAISM is evaluated at; the
+    /// calibration baseline.
+    N45,
+    /// 65 nm — Z-PIM's node.
+    N65,
+    /// 28 nm — T-PIM's node.
+    N28,
+}
+
+impl TechNode {
+    /// Feature size in nanometres.
+    pub fn nm(&self) -> u32 {
+        match self {
+            TechNode::N45 => 45,
+            TechNode::N65 => 65,
+            TechNode::N28 => 28,
+        }
+    }
+
+    /// Dynamic-energy scale factor relative to 45 nm (CV² scaling;
+    /// first-order `(node/45) · (V/V45)²` with nominal supplies
+    /// 1.0 V @45, 1.0 V @65, 0.9 V @28).
+    pub fn energy_scale(&self) -> f64 {
+        match self {
+            TechNode::N45 => 1.0,
+            TechNode::N65 => 65.0 / 45.0,
+            TechNode::N28 => (28.0 / 45.0) * (0.9f64 / 1.0).powi(2),
+        }
+    }
+
+    /// Area scale factor relative to 45 nm (quadratic feature-size
+    /// scaling).
+    pub fn area_scale(&self) -> f64 {
+        let n = self.nm() as f64;
+        (n / 45.0).powi(2)
+    }
+
+    /// Gate-equivalent area factor(s): multiply a chip area at this node
+    /// by the factor to express it in the reference gate density of the
+    /// paper's Table II. Returns `(low, high)`; the bounds coincide except
+    /// at 28 nm, where the ITRS extrapolation is a range.
+    pub fn ge_factor(&self) -> (f64, f64) {
+        match self {
+            // Factors reproduce Table II's published GE rows (see type
+            // docs); they are close to, but not exactly, a node² law
+            // because the ITRS density table is not a perfect square law.
+            TechNode::N45 => (1.561, 1.561),
+            TechNode::N65 => (0.781, 0.781),
+            TechNode::N28 => (3.077, 4.927),
+        }
+    }
+
+    /// Re-expresses `area_mm2` at this node as a gate-equivalent area
+    /// range `(low, high)` in mm² of the reference node.
+    pub fn ge_area_mm2(&self, area_mm2: f64) -> (f64, f64) {
+        let (lo, hi) = self.ge_factor();
+        (area_mm2 * lo, area_mm2 * hi)
+    }
+}
+
+/// A voltage/frequency operating point for DVFS studies.
+///
+/// First-order alpha-power model at 45 nm: maximum frequency scales
+/// with the gate overdrive `V - Vth` (Vth ≈ 0.35 V), dynamic energy
+/// with `V²`, leakage roughly linearly with `V`.
+///
+/// # Examples
+///
+/// ```
+/// use daism_energy::dvfs_point;
+///
+/// // Scaling a 1 GHz design down to 200 MHz permits ~0.48 V:
+/// let p = dvfs_point(0.2);
+/// assert!(p.voltage < 0.5);
+/// assert!(p.dynamic_scale < 0.3); // ~V² savings
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsPoint {
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Dynamic-energy multiplier relative to nominal (V²/Vnom²).
+    pub dynamic_scale: f64,
+    /// Leakage-power multiplier relative to nominal (≈ V/Vnom).
+    pub leakage_scale: f64,
+}
+
+/// Threshold voltage assumed for the 45 nm DVFS model.
+const VTH: f64 = 0.35;
+/// Nominal supply at 45 nm.
+const VNOM: f64 = 1.0;
+
+/// The minimum supply voltage (and resulting energy scales) that still
+/// meets `freq_fraction` of the nominal clock (`1.0` = full speed).
+///
+/// # Panics
+///
+/// Panics unless `0 < freq_fraction <= 1`.
+pub fn dvfs_point(freq_fraction: f64) -> DvfsPoint {
+    assert!(
+        freq_fraction > 0.0 && freq_fraction <= 1.0,
+        "freq fraction {freq_fraction} outside (0, 1]"
+    );
+    let voltage = VTH + (VNOM - VTH) * freq_fraction;
+    DvfsPoint {
+        voltage,
+        dynamic_scale: (voltage / VNOM).powi(2),
+        leakage_scale: voltage / VNOM,
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.nm())
+    }
+}
+
+impl Default for TechNode {
+    /// 45 nm — the node all calibration constants are expressed at.
+    fn default() -> Self {
+        TechNode::N45
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ge_factors_reproduce_table2() {
+        // DAISM 16x8kB: 2.44 mm² -> 3.81 mm² GE.
+        let (lo, _) = TechNode::N45.ge_area_mm2(2.44);
+        assert!((lo - 3.81).abs() < 0.02, "got {lo}");
+        // DAISM 16x32kB: 4.23 -> 6.61.
+        let (lo, _) = TechNode::N45.ge_area_mm2(4.23);
+        assert!((lo - 6.61).abs() < 0.02, "got {lo}");
+        // Z-PIM: 7.57 -> 5.91.
+        let (lo, _) = TechNode::N65.ge_area_mm2(7.57);
+        assert!((lo - 5.91).abs() < 0.02, "got {lo}");
+        // T-PIM: 5.04 -> 15.51..24.83.
+        let (lo, hi) = TechNode::N28.ge_area_mm2(5.04);
+        assert!((lo - 15.51).abs() < 0.05, "got {lo}");
+        assert!((hi - 24.83).abs() < 0.05, "got {hi}");
+    }
+
+    #[test]
+    fn energy_scales_monotonically_with_node() {
+        assert!(TechNode::N28.energy_scale() < TechNode::N45.energy_scale());
+        assert!(TechNode::N45.energy_scale() < TechNode::N65.energy_scale());
+    }
+
+    #[test]
+    fn area_scale_is_quadratic() {
+        assert_eq!(TechNode::N45.area_scale(), 1.0);
+        assert!((TechNode::N65.area_scale() - (65.0f64 / 45.0).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TechNode::N45.to_string(), "45nm");
+        assert_eq!(TechNode::N28.to_string(), "28nm");
+    }
+
+    #[test]
+    fn dvfs_nominal_is_identity() {
+        let p = dvfs_point(1.0);
+        assert!((p.voltage - 1.0).abs() < 1e-12);
+        assert!((p.dynamic_scale - 1.0).abs() < 1e-12);
+        assert!((p.leakage_scale - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dvfs_slows_and_saves_quadratically() {
+        let half = dvfs_point(0.5);
+        let fifth = dvfs_point(0.2);
+        assert!(fifth.voltage < half.voltage);
+        assert!(fifth.dynamic_scale < half.dynamic_scale);
+        // V never drops below threshold.
+        assert!(fifth.voltage > 0.35);
+        // Quadratic shape: dynamic scale == (V/Vnom)^2.
+        assert!((half.dynamic_scale - half.voltage * half.voltage).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn dvfs_rejects_overclock() {
+        let _ = dvfs_point(1.2);
+    }
+}

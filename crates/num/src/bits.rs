@@ -1,0 +1,158 @@
+//! Bit-manipulation helpers shared across the DAISM workspace.
+//!
+//! All helpers operate on `u64` words; mantissa products in this project are
+//! at most 48 bits wide (24 × 24-bit `float32` mantissas), so `u64` is always
+//! sufficient.
+
+/// Returns a mask with the low `width` bits set.
+///
+/// `width == 64` returns `u64::MAX`; widths above 64 panic.
+///
+/// # Panics
+///
+/// Panics if `width > 64`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(daism_num::bits::mask(4), 0b1111);
+/// assert_eq!(daism_num::bits::mask(0), 0);
+/// assert_eq!(daism_num::bits::mask(64), u64::MAX);
+/// ```
+#[inline]
+pub fn mask(width: u32) -> u64 {
+    assert!(width <= 64, "mask width {width} exceeds 64");
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Returns bit `i` of `v` as a `bool`.
+///
+/// # Panics
+///
+/// Panics if `i >= 64`.
+#[inline]
+pub fn bit(v: u64, i: u32) -> bool {
+    assert!(i < 64, "bit index {i} exceeds 63");
+    (v >> i) & 1 == 1
+}
+
+/// Extracts `width` bits of `v` starting at bit `lo` (inclusive).
+///
+/// # Panics
+///
+/// Panics if `lo + width > 64`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(daism_num::bits::extract(0b1101_0110, 2, 4), 0b0101);
+/// ```
+#[inline]
+pub fn extract(v: u64, lo: u32, width: u32) -> u64 {
+    assert!(lo + width <= 64, "extract range {lo}+{width} exceeds 64");
+    (v >> lo) & mask(width)
+}
+
+/// Number of bits needed to represent `v` (`0` needs `0` bits).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(daism_num::bits::width_of(0), 0);
+/// assert_eq!(daism_num::bits::width_of(1), 1);
+/// assert_eq!(daism_num::bits::width_of(0b1000), 4);
+/// ```
+#[inline]
+pub fn width_of(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Returns `true` if `v` is a power of two (zero is not).
+#[inline]
+pub fn is_pow2(v: u64) -> bool {
+    v != 0 && v & (v - 1) == 0
+}
+
+/// Ceiling division for `usize`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+#[inline]
+pub fn ceil_div(n: usize, d: usize) -> usize {
+    assert!(d != 0, "division by zero");
+    n.div_ceil(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(63), u64::MAX >> 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 64")]
+    fn mask_too_wide() {
+        let _ = mask(65);
+    }
+
+    #[test]
+    fn bit_reads_each_position() {
+        let v = 0b1010_0001u64;
+        assert!(bit(v, 0));
+        assert!(!bit(v, 1));
+        assert!(bit(v, 5));
+        assert!(bit(v, 7));
+        assert!(!bit(v, 63));
+    }
+
+    #[test]
+    fn extract_matches_manual_shift_mask() {
+        let v = 0xDEAD_BEEF_u64;
+        for lo in 0..32 {
+            for width in 0..=16 {
+                assert_eq!(extract(v, lo, width), (v >> lo) & mask(width));
+            }
+        }
+    }
+
+    #[test]
+    fn extract_full_word() {
+        assert_eq!(extract(u64::MAX, 0, 64), u64::MAX);
+    }
+
+    #[test]
+    fn width_of_powers() {
+        for i in 0..64 {
+            assert_eq!(width_of(1u64 << i), i + 1);
+        }
+    }
+
+    #[test]
+    fn is_pow2_basic() {
+        assert!(!is_pow2(0));
+        assert!(is_pow2(1));
+        assert!(is_pow2(2));
+        assert!(!is_pow2(3));
+        assert!(is_pow2(1 << 63));
+        assert!(!is_pow2(u64::MAX));
+    }
+
+    #[test]
+    fn ceil_div_basic() {
+        assert_eq!(ceil_div(0, 4), 0);
+        assert_eq!(ceil_div(1, 4), 1);
+        assert_eq!(ceil_div(4, 4), 1);
+        assert_eq!(ceil_div(5, 4), 2);
+    }
+}

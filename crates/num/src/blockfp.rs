@@ -1,0 +1,189 @@
+use crate::format::FpFormat;
+use crate::scalar::{FpClass, FpScalar};
+
+/// A block-floating-point (BFP) encoding of a slice of values: signed
+/// mantissas sharing a single exponent.
+///
+/// The DAISM accelerator (paper §IV-A) handles exponents "similar to how a
+/// block floating point architecture would work — this data type only has
+/// one exponent per matrix, reducing data size and improving performance".
+/// `BlockFp` is that representation: each element is stored as a signed
+/// `man_width`-bit mantissa scaled by `2^(shared_exp - (man_width - 2))`
+/// (the `- 2` leaves headroom for the sign and for the leading digit of the
+/// largest element, whose magnitude may reach just under
+/// `2^(shared_exp + 1)`).
+///
+/// # Examples
+///
+/// ```
+/// use daism_num::BlockFp;
+///
+/// let block = BlockFp::quantize(&[1.0, -0.5, 0.25], 8);
+/// let back = block.dequantize();
+/// assert!((back[0] - 1.0).abs() < 0.01);
+/// assert!((back[1] + 0.5).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockFp {
+    shared_exp: i32,
+    man_width: u32,
+    mantissas: Vec<i32>,
+}
+
+impl BlockFp {
+    /// Quantizes `values` into a block with `man_width`-bit signed
+    /// mantissas (including the sign's magnitude bit; `man_width >= 2`).
+    ///
+    /// The shared exponent is the largest element exponent; smaller
+    /// elements lose low-order bits (standard BFP behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `man_width < 2` or `man_width > 31`.
+    pub fn quantize(values: &[f32], man_width: u32) -> Self {
+        assert!(
+            (2..=31).contains(&man_width),
+            "mantissa width {man_width} outside supported range 2..=31"
+        );
+        let shared_exp = values
+            .iter()
+            .map(|&v| {
+                let s = FpScalar::from_f32(v, FpFormat::FP32);
+                if s.class() == FpClass::Normal {
+                    s.exponent()
+                } else {
+                    i32::MIN
+                }
+            })
+            .max()
+            .unwrap_or(i32::MIN);
+
+        if shared_exp == i32::MIN {
+            // All-zero (or non-finite-free empty) block.
+            return BlockFp { shared_exp: 0, man_width, mantissas: vec![0; values.len()] };
+        }
+
+        let scale = 2f64.powi(man_width as i32 - 2 - shared_exp);
+        let limit = (1i64 << (man_width - 1)) - 1;
+        let mantissas = values
+            .iter()
+            .map(|&v| {
+                let q = (v as f64 * scale).round() as i64;
+                q.clamp(-limit - 1, limit) as i32
+            })
+            .collect();
+        BlockFp { shared_exp, man_width, mantissas }
+    }
+
+    /// Reconstructs the approximated values.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let scale = 2f64.powi(self.shared_exp - (self.man_width as i32 - 2));
+        self.mantissas.iter().map(|&m| (m as f64 * scale) as f32).collect()
+    }
+
+    /// The shared (unbiased) exponent of the block.
+    #[inline]
+    pub fn shared_exp(&self) -> i32 {
+        self.shared_exp
+    }
+
+    /// Mantissa width in bits (including the sign-magnitude bit).
+    #[inline]
+    pub fn man_width(&self) -> u32 {
+        self.man_width
+    }
+
+    /// The signed integer mantissas.
+    #[inline]
+    pub fn mantissas(&self) -> &[i32] {
+        &self.mantissas
+    }
+
+    /// Number of elements in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mantissas.len()
+    }
+
+    /// `true` if the block holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mantissas.is_empty()
+    }
+
+    /// Worst-case relative quantization error over the block (ignoring
+    /// zeros), useful for accuracy accounting in the accelerator model.
+    pub fn max_rel_error(&self, original: &[f32]) -> f64 {
+        let back = self.dequantize();
+        original
+            .iter()
+            .zip(&back)
+            .filter(|(&o, _)| o != 0.0)
+            .map(|(&o, &b)| ((b - o) / o).abs() as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_block_precision() {
+        let values = [1.0f32, -0.5, 0.25, 0.75, -0.125];
+        let block = BlockFp::quantize(&values, 12);
+        let back = block.dequantize();
+        for (o, b) in values.iter().zip(&back) {
+            assert!((o - b).abs() <= 2f32.powi(-10), "{o} vs {b}");
+        }
+    }
+
+    #[test]
+    fn shared_exponent_is_max() {
+        let block = BlockFp::quantize(&[0.25, 8.0, 1.0], 8);
+        // 8.0 = 1.0 * 2^3.
+        assert_eq!(block.shared_exp(), 3);
+    }
+
+    #[test]
+    fn all_zero_block() {
+        let block = BlockFp::quantize(&[0.0, 0.0, -0.0], 8);
+        assert_eq!(block.dequantize(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_block() {
+        let block = BlockFp::quantize(&[], 8);
+        assert!(block.is_empty());
+        assert_eq!(block.dequantize(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn small_values_lose_precision_relative_to_large() {
+        // With a big max element, tiny elements quantize to zero.
+        let block = BlockFp::quantize(&[1000.0, 1e-4], 8);
+        let back = block.dequantize();
+        assert_eq!(back[1], 0.0);
+    }
+
+    #[test]
+    fn negative_extreme_clamps() {
+        // -1.0 with max exp 0 and width 4: scale 2^3, q = -8 = -limit-1.
+        let block = BlockFp::quantize(&[-1.0, 0.9], 4);
+        let back = block.dequantize();
+        assert_eq!(back[0], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn rejects_width_one() {
+        let _ = BlockFp::quantize(&[1.0], 1);
+    }
+
+    #[test]
+    fn max_rel_error_reports_zero_for_exact() {
+        let values = [0.5f32, 1.0, -0.75];
+        let block = BlockFp::quantize(&values, 16);
+        assert!(block.max_rel_error(&values) < 1e-4);
+    }
+}

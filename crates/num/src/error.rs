@@ -1,0 +1,39 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an invalid [`FpFormat`](crate::FpFormat)
+/// or when format parameters are out of the supported range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The exponent width is zero or wider than the supported maximum (11).
+    ExponentWidth(u32),
+    /// The mantissa width (excluding the implicit one) is out of `0..=52`.
+    MantissaWidth(u32),
+    /// An operation mixed two scalars of different formats.
+    FormatMismatch {
+        /// Format of the left operand.
+        left: (u32, u32),
+        /// Format of the right operand.
+        right: (u32, u32),
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::ExponentWidth(w) => {
+                write!(f, "exponent width {w} is outside the supported range 1..=11")
+            }
+            FormatError::MantissaWidth(w) => {
+                write!(f, "mantissa width {w} is outside the supported range 0..=52")
+            }
+            FormatError::FormatMismatch { left, right } => write!(
+                f,
+                "operands use different formats: e{}m{} vs e{}m{}",
+                left.0, left.1, right.0, right.1
+            ),
+        }
+    }
+}
+
+impl Error for FormatError {}

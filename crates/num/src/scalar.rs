@@ -1,0 +1,401 @@
+use crate::bits;
+use crate::format::FpFormat;
+
+/// Classification of a decoded floating-point value.
+///
+/// Subnormal inputs are flushed to [`FpClass::Zero`] on decode — the DAISM
+/// datapath (like most DNN accelerators) does not implement gradual
+/// underflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpClass {
+    /// Positive or negative zero (also produced by flushed subnormals).
+    Zero,
+    /// A normal value with an explicit leading one in the mantissa.
+    Normal,
+    /// Positive or negative infinity.
+    Inf,
+    /// Not-a-number. The sign bit is preserved but meaningless.
+    Nan,
+}
+
+/// A decoded floating-point value in a given [`FpFormat`].
+///
+/// A `Normal` scalar holds its mantissa as an unsigned integer of width
+/// [`FpFormat::mantissa_width`] with the leading one explicit (top bit
+/// always set) — exactly the operand shape the in-SRAM multiplier consumes —
+/// plus an unbiased exponent and a sign.
+///
+/// The represented value of a normal scalar is
+/// `(-1)^sign · mantissa · 2^(exponent - man_bits)`.
+///
+/// # Examples
+///
+/// ```
+/// use daism_num::{FpFormat, FpScalar};
+///
+/// let x = FpScalar::from_f32(-3.25, FpFormat::FP32);
+/// assert!(x.sign());
+/// assert_eq!(x.exponent(), 1); // 3.25 = 1.625 * 2^1
+/// assert_eq!(x.to_f32(), -3.25);
+///
+/// // Narrowing to bfloat16 rounds to nearest-even:
+/// let y = FpScalar::from_f32(3.141592653589793, FpFormat::BF16);
+/// assert_eq!(y.to_f32(), 3.140625);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpScalar {
+    sign: bool,
+    exp: i32,
+    man: u64,
+    format: FpFormat,
+    class: FpClass,
+}
+
+impl FpScalar {
+    /// Positive zero in `format`.
+    pub fn zero(format: FpFormat) -> Self {
+        FpScalar { sign: false, exp: 0, man: 0, format, class: FpClass::Zero }
+    }
+
+    /// One (`1.0`) in `format`.
+    pub fn one(format: FpFormat) -> Self {
+        FpScalar {
+            sign: false,
+            exp: 0,
+            man: 1u64 << (format.mantissa_width() - 1),
+            format,
+            class: FpClass::Normal,
+        }
+    }
+
+    /// Builds a scalar from raw normal parts.
+    ///
+    /// `man` must have width exactly [`FpFormat::mantissa_width`] with the
+    /// top bit set; `exp` is the unbiased exponent. Exponent overflow
+    /// saturates to infinity; underflow flushes to zero (the behaviour of
+    /// the modelled hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `man` does not have its leading-one bit set or exceeds the
+    /// mantissa width.
+    pub fn from_parts(sign: bool, exp: i32, man: u64, format: FpFormat) -> Self {
+        let w = format.mantissa_width();
+        assert!(
+            bits::width_of(man) == w,
+            "mantissa {man:#x} must be exactly {w} bits wide with the leading one set"
+        );
+        if exp > format.max_exp() {
+            return FpScalar { sign, exp: 0, man: 0, format, class: FpClass::Inf };
+        }
+        if exp < format.min_exp() {
+            return FpScalar { sign, exp: 0, man: 0, format, class: FpClass::Zero };
+        }
+        FpScalar { sign, exp, man, format, class: FpClass::Normal }
+    }
+
+    /// Decodes `x` into `format`, narrowing the mantissa with
+    /// round-to-nearest-even. Subnormal inputs (in either format) are
+    /// flushed to zero.
+    pub fn from_f32(x: f32, format: FpFormat) -> Self {
+        let raw = x.to_bits();
+        let sign = raw >> 31 == 1;
+        let e = (raw >> 23) & 0xFF;
+        let m = raw & 0x7F_FFFF;
+
+        if e == 0xFF {
+            let class = if m == 0 { FpClass::Inf } else { FpClass::Nan };
+            return FpScalar { sign, exp: 0, man: 0, format, class };
+        }
+        if e == 0 {
+            // Zero or subnormal: flush.
+            return FpScalar { sign, exp: 0, man: 0, format, class: FpClass::Zero };
+        }
+
+        let mut exp = e as i32 - 127;
+        let mant24 = (1u64 << 23) | m as u64; // 24-bit, leading one explicit
+        let w = format.mantissa_width();
+
+        let mut man = if w <= 24 {
+            let shift = 24 - w;
+            let keep = mant24 >> shift;
+            if shift == 0 {
+                keep
+            } else {
+                let rem = mant24 & bits::mask(shift);
+                let half = 1u64 << (shift - 1);
+                if rem > half || (rem == half && keep & 1 == 1) {
+                    keep + 1
+                } else {
+                    keep
+                }
+            }
+        } else {
+            mant24 << (w - 24)
+        };
+
+        // Rounding may overflow the mantissa (e.g. 1.1111111.. -> 10.0).
+        if bits::width_of(man) > w {
+            man >>= 1;
+            exp += 1;
+        }
+
+        if exp > format.max_exp() {
+            return FpScalar { sign, exp: 0, man: 0, format, class: FpClass::Inf };
+        }
+        if exp < format.min_exp() {
+            return FpScalar { sign, exp: 0, man: 0, format, class: FpClass::Zero };
+        }
+        FpScalar { sign, exp, man, format, class: FpClass::Normal }
+    }
+
+    /// Re-encodes the scalar as an `f32`.
+    ///
+    /// Exact whenever the format's mantissa is no wider than 24 bits and the
+    /// exponent fits `f32` (always true for `bfloat16`/`float32`); wider
+    /// mantissas are rounded by the conversion.
+    pub fn to_f32(&self) -> f32 {
+        match self.class {
+            FpClass::Zero => {
+                if self.sign {
+                    -0.0
+                } else {
+                    0.0
+                }
+            }
+            FpClass::Inf => {
+                if self.sign {
+                    f32::NEG_INFINITY
+                } else {
+                    f32::INFINITY
+                }
+            }
+            FpClass::Nan => f32::NAN,
+            FpClass::Normal => self.to_f64() as f32,
+        }
+    }
+
+    /// Re-encodes the scalar as an `f64` (always exact for supported
+    /// formats).
+    pub fn to_f64(&self) -> f64 {
+        match self.class {
+            FpClass::Zero => {
+                if self.sign {
+                    -0.0
+                } else {
+                    0.0
+                }
+            }
+            FpClass::Inf => {
+                if self.sign {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }
+            FpClass::Nan => f64::NAN,
+            FpClass::Normal => {
+                let w = self.format.mantissa_width();
+                let magnitude =
+                    self.man as f64 * 2f64.powi(self.exp - (w as i32 - 1));
+                if self.sign {
+                    -magnitude
+                } else {
+                    magnitude
+                }
+            }
+        }
+    }
+
+    /// The sign bit (`true` = negative).
+    #[inline]
+    pub fn sign(&self) -> bool {
+        self.sign
+    }
+
+    /// The unbiased exponent. Only meaningful for `Normal` values.
+    #[inline]
+    pub fn exponent(&self) -> i32 {
+        self.exp
+    }
+
+    /// The mantissa with explicit leading one, of width
+    /// [`FpFormat::mantissa_width`]. Zero for non-`Normal` values.
+    #[inline]
+    pub fn mantissa(&self) -> u64 {
+        self.man
+    }
+
+    /// The format this scalar is encoded in.
+    #[inline]
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+
+    /// The value class.
+    #[inline]
+    pub fn class(&self) -> FpClass {
+        self.class
+    }
+
+    /// `true` if the value is (±) zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.class == FpClass::Zero
+    }
+}
+
+/// Quantizes `x` through `format` and back to `f32` — the storage round-trip
+/// a value experiences when held in a reduced-precision buffer.
+///
+/// # Examples
+///
+/// ```
+/// use daism_num::{quantize_f32, FpFormat};
+///
+/// // bf16 keeps only 8 mantissa bits:
+/// assert_eq!(quantize_f32(1.0 + 1.0 / 512.0, FpFormat::BF16), 1.0);
+/// assert_eq!(quantize_f32(1.0 + 1.0 / 64.0, FpFormat::BF16), 1.0 + 1.0 / 64.0);
+/// ```
+pub fn quantize_f32(x: f32, format: FpFormat) -> f32 {
+    FpScalar::from_f32(x, format).to_f32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_one() {
+        for format in [FpFormat::FP32, FpFormat::BF16, FpFormat::FP16] {
+            let x = FpScalar::from_f32(1.0, format);
+            assert_eq!(x.class(), FpClass::Normal);
+            assert_eq!(x.exponent(), 0);
+            assert_eq!(x.mantissa(), 1u64 << (format.mantissa_width() - 1));
+            assert_eq!(x.to_f32(), 1.0);
+        }
+    }
+
+    #[test]
+    fn fp32_roundtrip_is_exact() {
+        for &v in &[
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            1.5,
+            0.1,
+            -123.456,
+            3.4e38,
+            1.2e-38,
+            std::f32::consts::PI,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+        ] {
+            let x = FpScalar::from_f32(v, FpFormat::FP32);
+            assert_eq!(x.to_f32().to_bits(), v.to_bits(), "roundtrip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn subnormals_flush_to_zero() {
+        let sub = f32::MIN_POSITIVE / 2.0;
+        assert!(sub > 0.0);
+        let x = FpScalar::from_f32(sub, FpFormat::FP32);
+        assert!(x.is_zero());
+        let neg = FpScalar::from_f32(-sub, FpFormat::FP32);
+        assert!(neg.is_zero());
+        assert!(neg.sign());
+    }
+
+    #[test]
+    fn inf_and_nan_classify() {
+        let inf = FpScalar::from_f32(f32::INFINITY, FpFormat::BF16);
+        assert_eq!(inf.class(), FpClass::Inf);
+        assert_eq!(inf.to_f32(), f32::INFINITY);
+        let ninf = FpScalar::from_f32(f32::NEG_INFINITY, FpFormat::BF16);
+        assert_eq!(ninf.to_f32(), f32::NEG_INFINITY);
+        let nan = FpScalar::from_f32(f32::NAN, FpFormat::BF16);
+        assert_eq!(nan.class(), FpClass::Nan);
+        assert!(nan.to_f32().is_nan());
+    }
+
+    #[test]
+    fn bf16_narrowing_rounds_to_nearest_even() {
+        // 1 + 1/256 is exactly halfway between bf16 values 1.0 and 1 + 1/128;
+        // nearest-even keeps 1.0 (even mantissa 0b10000000).
+        let x = FpScalar::from_f32(1.0 + 1.0 / 256.0, FpFormat::BF16);
+        assert_eq!(x.to_f32(), 1.0);
+        // 1 + 3/256 is halfway between 1 + 1/128 and 1 + 2/128; nearest-even
+        // rounds up to 1 + 2/128 (mantissa ...10 even).
+        let y = FpScalar::from_f32(1.0 + 3.0 / 256.0, FpFormat::BF16);
+        assert_eq!(y.to_f32(), 1.0 + 2.0 / 128.0);
+        // Slightly above halfway always rounds up.
+        let z = FpScalar::from_f32(1.0 + 1.0 / 256.0 + 1e-6, FpFormat::BF16);
+        assert_eq!(z.to_f32(), 1.0 + 1.0 / 128.0);
+    }
+
+    #[test]
+    fn rounding_mantissa_overflow_carries_into_exponent() {
+        // The largest f32 mantissa rounds up to 2.0 in bf16.
+        let v = f32::from_bits(0x3FFF_FFFF); // just under 2.0
+        let x = FpScalar::from_f32(v, FpFormat::BF16);
+        assert_eq!(x.to_f32(), 2.0);
+        assert_eq!(x.exponent(), 1);
+    }
+
+    #[test]
+    fn fp16_overflow_saturates_to_inf() {
+        // 1e6 exceeds fp16 max (65504).
+        let x = FpScalar::from_f32(1e6, FpFormat::FP16);
+        assert_eq!(x.class(), FpClass::Inf);
+    }
+
+    #[test]
+    fn fp16_underflow_flushes_to_zero() {
+        let x = FpScalar::from_f32(1e-8, FpFormat::FP16);
+        assert!(x.is_zero());
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let x = FpScalar::from_parts(true, 3, 0b1010_0000, FpFormat::BF16);
+        assert_eq!(x.to_f32(), -(0b1010_0000 as f32) * 2f32.powi(3 - 7));
+        assert_eq!(x.to_f32(), -10.0);
+    }
+
+    #[test]
+    fn from_parts_saturates() {
+        let man = 1u64 << 7;
+        let inf = FpScalar::from_parts(false, 1000, man, FpFormat::BF16);
+        assert_eq!(inf.class(), FpClass::Inf);
+        let zero = FpScalar::from_parts(false, -1000, man, FpFormat::BF16);
+        assert_eq!(zero.class(), FpClass::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "leading one")]
+    fn from_parts_rejects_missing_leading_one() {
+        let _ = FpScalar::from_parts(false, 0, 0b0100_0000, FpFormat::BF16);
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        for &v in &[0.37f32, -11.0, 255.4, 1e-3] {
+            let q = quantize_f32(v, FpFormat::BF16);
+            assert_eq!(quantize_f32(q, FpFormat::BF16), q);
+        }
+    }
+
+    #[test]
+    fn bf16_error_bounded_by_half_ulp() {
+        // Relative error of bf16 quantization is at most 2^-8.
+        let mut v = 1.000001f32;
+        for _ in 0..1000 {
+            let q = quantize_f32(v, FpFormat::BF16);
+            let rel = ((q - v) / v).abs();
+            assert!(rel <= 1.0 / 256.0, "rel err {rel} too large for {v}");
+            v *= 1.017;
+        }
+    }
+}

@@ -1,0 +1,140 @@
+use crate::format::FpFormat;
+use crate::scalar::FpScalar;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A `bfloat16` value stored in its native 16 bits.
+///
+/// `Bf16` is the compact storage type used by the DNN crates to model
+/// reduced-precision weight/activation buffers; arithmetic happens after
+/// widening to `f32` (or through the approximate multiplier pipeline).
+///
+/// Conversion from `f32` uses round-to-nearest-even; subnormals flush to
+/// zero, matching the decode behaviour of [`FpScalar`].
+///
+/// # Examples
+///
+/// ```
+/// use daism_num::Bf16;
+///
+/// let x = Bf16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// assert_eq!(x.to_bits(), 0x3FC0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Largest finite value (`(2 - 2^-7) * 2^127`).
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+
+    /// Converts from `f32` with round-to-nearest-even (subnormals flush to
+    /// zero).
+    pub fn from_f32(x: f32) -> Self {
+        let s = FpScalar::from_f32(x, FpFormat::BF16);
+        // Re-encode from the decoded scalar to share one rounding path.
+        let f = s.to_f32();
+        Bf16((f.to_bits() >> 16) as u16)
+    }
+
+    /// Widens to `f32` (always exact).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Builds a value from a raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// `true` if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        self.to_f32().is_nan()
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl PartialOrd for Bf16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(Bf16::ZERO.to_f32(), 0.0);
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        let max = Bf16::MAX.to_f32();
+        assert!((max - (2.0 - 1.0 / 128.0) * 2f32.powi(127)).abs() / max < 1e-6);
+    }
+
+    #[test]
+    fn truncating_widening_roundtrip() {
+        // Every bf16 bit pattern that is a normal/zero must survive a
+        // to_f32 -> from_f32 round trip unchanged.
+        for hi in 0..=u16::MAX {
+            let b = Bf16::from_bits(hi);
+            let f = b.to_f32();
+            if f.is_nan() {
+                assert!(Bf16::from_f32(f).is_nan());
+                continue;
+            }
+            if f != 0.0 && f.abs() < f32::MIN_POSITIVE {
+                // Subnormal bf16 values flush to zero on re-decode.
+                assert_eq!(Bf16::from_f32(f).to_f32(), 0.0);
+                continue;
+            }
+            assert_eq!(Bf16::from_f32(f).to_bits(), b.to_bits(), "pattern {hi:#06x}");
+        }
+    }
+
+    #[test]
+    fn from_f32_rounds() {
+        // 1 + 1/128 is representable; 1 + 1/256 rounds to even (1.0).
+        assert_eq!(Bf16::from_f32(1.0 + 1.0 / 128.0).to_f32(), 1.0 + 1.0 / 128.0);
+        assert_eq!(Bf16::from_f32(1.0 + 1.0 / 256.0).to_f32(), 1.0);
+    }
+
+    #[test]
+    fn ordering_follows_f32() {
+        assert!(Bf16::from_f32(1.0) < Bf16::from_f32(2.0));
+        assert!(Bf16::from_f32(-3.0) < Bf16::from_f32(-1.0));
+    }
+
+    #[test]
+    fn display_matches_f32() {
+        assert_eq!(Bf16::from_f32(0.5).to_string(), "0.5");
+    }
+}

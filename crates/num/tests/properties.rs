@@ -1,0 +1,86 @@
+//! Property-based tests for the numeric substrate.
+
+use daism_num::{bits, quantize_f32, BlockFp, FpClass, FpFormat, FpScalar};
+use proptest::prelude::*;
+
+fn finite_normal_f32() -> impl Strategy<Value = f32> {
+    any::<f32>().prop_filter("finite normal", |v| v.is_normal() || *v == 0.0)
+}
+
+proptest! {
+    #[test]
+    fn fp32_decode_encode_is_identity(v in finite_normal_f32()) {
+        let s = FpScalar::from_f32(v, FpFormat::FP32);
+        prop_assert_eq!(s.to_f32().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn decoded_mantissa_always_has_leading_one(v in finite_normal_f32()) {
+        for format in [FpFormat::FP32, FpFormat::BF16, FpFormat::FP16, FpFormat::TF32] {
+            let s = FpScalar::from_f32(v, format);
+            if s.class() == FpClass::Normal {
+                let w = format.mantissa_width();
+                prop_assert!(bits::bit(s.mantissa(), w - 1));
+                prop_assert_eq!(bits::width_of(s.mantissa()), w);
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_half_ulp_bounded(v in finite_normal_f32()) {
+        prop_assume!(v != 0.0 && v.is_normal());
+        for format in [FpFormat::BF16, FpFormat::TF32] {
+            let q = quantize_f32(v, format);
+            if q == 0.0 || q.is_infinite() {
+                // Out of the format's range: skip.
+                continue;
+            }
+            let rel = ((q - v) / v).abs();
+            // Round-to-nearest error bound: 2^-(man_bits+1).
+            let bound = 2f32.powi(-(format.man_bits() as i32 + 1)) * 1.0001;
+            prop_assert!(rel <= bound, "rel {} > bound {} for {} ({})", rel, bound, v, format);
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent_any_format(v in finite_normal_f32()) {
+        for format in [FpFormat::FP32, FpFormat::BF16, FpFormat::FP16] {
+            let q = quantize_f32(v, format);
+            if q.is_nan() { continue; }
+            prop_assert_eq!(quantize_f32(q, format).to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantize_preserves_sign_and_order(a in -1e30f32..1e30, b in -1e30f32..1e30) {
+        prop_assume!(a.is_normal() && b.is_normal());
+        let qa = quantize_f32(a, FpFormat::BF16);
+        let qb = quantize_f32(b, FpFormat::BF16);
+        // Rounding is monotone: a <= b implies q(a) <= q(b).
+        if a <= b {
+            prop_assert!(qa <= qb, "monotonicity broken: q({a})={qa} > q({b})={qb}");
+        }
+    }
+
+    #[test]
+    fn blockfp_roundtrip_error_bounded(values in prop::collection::vec(-1e6f32..1e6, 1..64)) {
+        let width = 12u32;
+        let block = BlockFp::quantize(&values, width);
+        let back = block.dequantize();
+        let max_abs = values.iter().fold(0f32, |m, v| m.max(v.abs()));
+        prop_assume!(max_abs > 0.0 && max_abs.is_normal());
+        // Absolute error bounded by one quantization step of the block.
+        let step = 2f64.powi(block.shared_exp() - (width as i32 - 2));
+        for (o, b) in values.iter().zip(&back) {
+            prop_assert!(((o - b).abs() as f64) <= step * 0.5000001,
+                "error {} exceeds step {}", (o - b).abs(), step);
+        }
+    }
+
+    #[test]
+    fn bits_mask_extract_consistent(v in any::<u64>(), lo in 0u32..48, width in 0u32..16) {
+        let e = bits::extract(v, lo, width);
+        prop_assert!(e <= bits::mask(width));
+        prop_assert_eq!(e, (v >> lo) & bits::mask(width));
+    }
+}

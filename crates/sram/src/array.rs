@@ -1,0 +1,381 @@
+use crate::bitmat::BitMatrix;
+use crate::error::SramError;
+use crate::geometry::BankGeometry;
+use crate::stats::AccessStats;
+
+/// A behavioural SRAM array: a [`BitMatrix`] with word accessors, the
+/// multi-wordline wired-OR read, and access statistics.
+///
+/// The array is "dumb": it has no notion of groups, partial products or
+/// decoding — just wordlines, bitlines and the OR-read primitive of the
+/// modified 4+2T SRAM. [`SramBank`](crate::SramBank) layers the DAISM
+/// storage discipline on top.
+///
+/// # Examples
+///
+/// ```
+/// use daism_sram::{BankGeometry, SramArray};
+///
+/// let mut sram = SramArray::new(BankGeometry::new(8, 64)?);
+/// sram.write_word(0, 0, 8, 0b0011_0000)?;
+/// sram.write_word(1, 0, 8, 0b0000_1100)?;
+/// // Activating wordlines 0 and 1 together reads their OR:
+/// assert_eq!(sram.read_or(&[0, 1], 0, 8)?, 0b0011_1100);
+/// assert_eq!(sram.stats().or_reads, 1);
+/// assert_eq!(sram.stats().wordline_activations, 2);
+/// # Ok::<(), daism_sram::SramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramArray {
+    cells: BitMatrix,
+    geometry: BankGeometry,
+    stats: AccessStats,
+    /// Stuck-at fault overlays (lazily allocated): a set bit in `stuck0`
+    /// forces the cell to read 0, in `stuck1` to read 1. Faults apply
+    /// per cell *before* the wired-OR, as physical defects would.
+    faults: Option<Box<FaultOverlay>>,
+}
+
+#[derive(Debug, Clone)]
+struct FaultOverlay {
+    stuck0: BitMatrix,
+    stuck1: BitMatrix,
+    count: usize,
+}
+
+impl SramArray {
+    /// Creates a zeroed array with the given geometry.
+    pub fn new(geometry: BankGeometry) -> Self {
+        SramArray {
+            cells: BitMatrix::new(geometry.rows(), geometry.cols()),
+            geometry,
+            stats: AccessStats::new(),
+            faults: None,
+        }
+    }
+
+    /// Injects a stuck-at fault: the cell at `(row, col)` permanently
+    /// reads `value` regardless of what is written. Injecting both
+    /// polarities on one cell leaves the last one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a range error for bad coordinates.
+    pub fn inject_stuck_at(
+        &mut self,
+        row: usize,
+        col: usize,
+        value: bool,
+    ) -> Result<(), SramError> {
+        if row >= self.geometry.rows() {
+            return Err(SramError::RowOutOfRange { row, rows: self.geometry.rows() });
+        }
+        if col >= self.geometry.cols() {
+            return Err(SramError::ColOutOfRange { col, width: 1, cols: self.geometry.cols() });
+        }
+        let overlay = self.faults.get_or_insert_with(|| {
+            Box::new(FaultOverlay {
+                stuck0: BitMatrix::new(self.geometry.rows(), self.geometry.cols()),
+                stuck1: BitMatrix::new(self.geometry.rows(), self.geometry.cols()),
+                count: 0,
+            })
+        });
+        let was_faulty = overlay.stuck0.get(row, col) || overlay.stuck1.get(row, col);
+        overlay.stuck0.set(row, col, !value);
+        overlay.stuck1.set(row, col, value);
+        if !was_faulty {
+            overlay.count += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of faulty cells.
+    pub fn fault_count(&self) -> usize {
+        self.faults.as_ref().map_or(0, |f| f.count)
+    }
+
+    /// Removes all injected faults.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Reads `width` bits of one row with fault overlays applied.
+    fn faulty_row_bits(&self, row: usize, col: usize, width: u32) -> Result<u64, SramError> {
+        let v = self.cells.read_bits(row, col, width)?;
+        match &self.faults {
+            None => Ok(v),
+            Some(f) => {
+                let s0 = f.stuck0.read_bits(row, col, width)?;
+                let s1 = f.stuck1.read_bits(row, col, width)?;
+                Ok((v & !s0) | s1)
+            }
+        }
+    }
+
+    /// The physical geometry.
+    #[inline]
+    pub fn geometry(&self) -> BankGeometry {
+        self.geometry
+    }
+
+    /// Accumulated access statistics.
+    #[inline]
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Resets the access statistics (contents are unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Writes `width` bits of `value` on wordline `row` starting at column
+    /// `col`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range/width errors from the underlying matrix.
+    pub fn write_word(
+        &mut self,
+        row: usize,
+        col: usize,
+        width: u32,
+        value: u64,
+    ) -> Result<(), SramError> {
+        self.cells.write_bits(row, col, width, value)?;
+        self.stats.writes += 1;
+        self.stats.bits_written += width as u64;
+        Ok(())
+    }
+
+    /// Reads `width` bits from a single wordline (stuck-at faults
+    /// applied).
+    ///
+    /// # Errors
+    ///
+    /// Propagates range/width errors from the underlying matrix.
+    pub fn read_word(&mut self, row: usize, col: usize, width: u32) -> Result<u64, SramError> {
+        let v = self.faulty_row_bits(row, col, width)?;
+        self.stats.single_reads += 1;
+        self.stats.bitlines_sensed += width as u64;
+        Ok(v)
+    }
+
+    /// Multi-wordline activation: reads `width` bits as the wired-OR of all
+    /// the given wordlines (faults applied per cell before the OR). One
+    /// call = one precharge/sense cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range/width errors from the underlying matrix.
+    pub fn read_or(&mut self, rows: &[usize], col: usize, width: u32) -> Result<u64, SramError> {
+        let mut v = 0u64;
+        for &row in rows {
+            v |= self.faulty_row_bits(row, col, width)?;
+        }
+        self.stats.or_reads += 1;
+        self.stats.wordline_activations += rows.len() as u64;
+        self.stats.bitlines_sensed += width as u64;
+        Ok(v)
+    }
+
+    /// Multi-wordline activation across the *entire* row width, returned as
+    /// packed words — this is what physically happens in DAISM: every
+    /// bitline of the bank senses simultaneously. Faults applied per cell
+    /// before the OR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from the underlying matrix.
+    pub fn read_or_full(&mut self, rows: &[usize]) -> Result<Vec<u64>, SramError> {
+        let v = match &self.faults {
+            None => self.cells.or_rows(rows)?,
+            Some(f) => {
+                let mut out = vec![0u64; self.geometry.cols().div_ceil(64)];
+                for &row in rows {
+                    let raw = self.cells.or_rows(&[row])?;
+                    let s0 = f.stuck0.or_rows(&[row])?;
+                    let s1 = f.stuck1.or_rows(&[row])?;
+                    for ((o, v), (m0, m1)) in
+                        out.iter_mut().zip(raw).zip(s0.into_iter().zip(s1))
+                    {
+                        *o |= (v & !m0) | m1;
+                    }
+                }
+                out
+            }
+        };
+        self.stats.or_reads += 1;
+        self.stats.wordline_activations += rows.len() as u64;
+        self.stats.bitlines_sensed += self.geometry.cols() as u64;
+        Ok(v)
+    }
+
+    /// Direct read access for verification/debug (not counted in stats,
+    /// **fault overlays not applied** — this is the stored value, not
+    /// what a sense amplifier would see).
+    pub fn peek(&self, row: usize, col: usize, width: u32) -> Result<u64, SramError> {
+        self.cells.read_bits(row, col, width)
+    }
+
+    /// Clears all cells (stats unaffected).
+    pub fn clear(&mut self) {
+        self.cells.clear();
+    }
+}
+
+impl From<BankGeometry> for SramArray {
+    fn from(geometry: BankGeometry) -> Self {
+        SramArray::new(geometry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SramArray {
+        SramArray::new(BankGeometry::new(16, 64).unwrap())
+    }
+
+    #[test]
+    fn write_then_read_counts_stats() {
+        let mut s = small();
+        s.write_word(3, 8, 12, 0xABC).unwrap();
+        assert_eq!(s.read_word(3, 8, 12).unwrap(), 0xABC);
+        let st = s.stats();
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.bits_written, 12);
+        assert_eq!(st.single_reads, 1);
+        assert_eq!(st.bitlines_sensed, 12);
+    }
+
+    #[test]
+    fn or_read_is_wired_or() {
+        let mut s = small();
+        s.write_word(0, 0, 8, 0b1000_0001).unwrap();
+        s.write_word(5, 0, 8, 0b0100_0001).unwrap();
+        s.write_word(9, 0, 8, 0b0010_0000).unwrap();
+        assert_eq!(s.read_or(&[0, 5, 9], 0, 8).unwrap(), 0b1110_0001);
+        assert_eq!(s.stats().or_reads, 1);
+        assert_eq!(s.stats().wordline_activations, 3);
+    }
+
+    #[test]
+    fn or_read_empty_rowset_is_zero() {
+        let mut s = small();
+        assert_eq!(s.read_or(&[], 0, 8).unwrap(), 0);
+        assert_eq!(s.stats().wordline_activations, 0);
+        assert_eq!(s.stats().or_reads, 1);
+    }
+
+    #[test]
+    fn read_or_full_senses_all_columns() {
+        let mut s = small();
+        s.write_word(1, 60, 4, 0xF).unwrap();
+        let words = s.read_or_full(&[1, 2]).unwrap();
+        assert_eq!(words[0] >> 60, 0xF);
+        assert_eq!(s.stats().bitlines_sensed, 64);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut s = small();
+        s.write_word(0, 0, 8, 0x55).unwrap();
+        let before = s.stats();
+        assert_eq!(s.peek(0, 0, 8).unwrap(), 0x55);
+        assert_eq!(s.stats(), before);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut s = small();
+        s.write_word(0, 0, 8, 0x77).unwrap();
+        s.reset_stats();
+        assert_eq!(s.stats(), AccessStats::default());
+        assert_eq!(s.peek(0, 0, 8).unwrap(), 0x77);
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let mut s = small();
+        s.write_word(0, 0, 8, 0x77).unwrap();
+        s.clear();
+        assert_eq!(s.peek(0, 0, 8).unwrap(), 0);
+        assert_eq!(s.stats().writes, 1);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut s = small();
+        assert!(s.write_word(16, 0, 8, 0).is_err());
+        assert!(s.read_or(&[0, 16], 0, 8).is_err());
+    }
+
+    #[test]
+    fn stuck_at_one_forces_bit_high() {
+        let mut s = small();
+        s.inject_stuck_at(2, 3, true).unwrap();
+        assert_eq!(s.read_word(2, 0, 8).unwrap(), 0b1000);
+        // Writing 0 cannot clear it.
+        s.write_word(2, 0, 8, 0).unwrap();
+        assert_eq!(s.read_word(2, 0, 8).unwrap(), 0b1000);
+        // But peek shows the stored (fault-free) value.
+        assert_eq!(s.peek(2, 0, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn stuck_at_zero_masks_bit() {
+        let mut s = small();
+        s.write_word(1, 0, 8, 0xFF).unwrap();
+        s.inject_stuck_at(1, 4, false).unwrap();
+        assert_eq!(s.read_word(1, 0, 8).unwrap(), 0b1110_1111);
+    }
+
+    #[test]
+    fn faults_apply_before_wired_or() {
+        let mut s = small();
+        s.write_word(0, 0, 8, 0b0000_0001).unwrap();
+        s.write_word(1, 0, 8, 0b0000_0010).unwrap();
+        // Stuck-0 on row 0 bit 0 removes its contribution; a healthy
+        // row can still drive other columns.
+        s.inject_stuck_at(0, 0, false).unwrap();
+        assert_eq!(s.read_or(&[0, 1], 0, 8).unwrap(), 0b0000_0010);
+        // Stuck-1 on an *activated* row always contributes.
+        s.inject_stuck_at(1, 7, true).unwrap();
+        assert_eq!(s.read_or(&[0, 1], 0, 8).unwrap(), 0b1000_0010);
+        // A stuck-1 row that is not activated contributes nothing.
+        assert_eq!(s.read_or(&[0], 0, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_or_full_applies_faults() {
+        let mut s = small();
+        s.write_word(3, 60, 4, 0xF).unwrap();
+        s.inject_stuck_at(3, 61, false).unwrap();
+        let words = s.read_or_full(&[3]).unwrap();
+        assert_eq!(words[0] >> 60, 0b1101);
+    }
+
+    #[test]
+    fn fault_bookkeeping() {
+        let mut s = small();
+        assert_eq!(s.fault_count(), 0);
+        s.inject_stuck_at(0, 0, true).unwrap();
+        s.inject_stuck_at(0, 1, false).unwrap();
+        // Re-injecting the same cell does not double-count.
+        s.inject_stuck_at(0, 0, false).unwrap();
+        assert_eq!(s.fault_count(), 2);
+        s.clear_faults();
+        assert_eq!(s.fault_count(), 0);
+        s.write_word(0, 0, 4, 0b0011).unwrap();
+        assert_eq!(s.read_word(0, 0, 4).unwrap(), 0b0011);
+    }
+
+    #[test]
+    fn inject_out_of_range_errors() {
+        let mut s = small();
+        assert!(s.inject_stuck_at(16, 0, true).is_err());
+        assert!(s.inject_stuck_at(0, 64, true).is_err());
+    }
+}

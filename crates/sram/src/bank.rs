@@ -1,0 +1,491 @@
+use crate::array::SramArray;
+use crate::error::SramError;
+use crate::geometry::BankGeometry;
+use crate::stats::AccessStats;
+
+/// The DAISM storage discipline for one bank: wordlines are tiled into
+/// *groups* of `lines_per_group` consecutive lines, and each group's columns
+/// are tiled into `element_width`-bit *slots*, one stored operand per slot.
+///
+/// For `bfloat16` (mantissa width *n* = 8): FLA/PC2 need 8 lines per group
+/// and PC3 needs 9; a full-width product occupies 16 columns and a truncated
+/// one 8. What pattern goes on which line is decided by `daism-core`.
+///
+/// # Examples
+///
+/// ```
+/// use daism_sram::{BankGeometry, GroupLayout};
+///
+/// let geom = BankGeometry::square_from_bytes(8 * 1024)?; // 256x256
+/// let layout = GroupLayout::new(8, 16)?;
+/// assert_eq!(layout.groups(geom), 32);
+/// assert_eq!(layout.elements_per_group(geom), 16);
+/// # Ok::<(), daism_sram::SramError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupLayout {
+    lines_per_group: usize,
+    element_width: u32,
+}
+
+impl GroupLayout {
+    /// Creates a layout with `lines_per_group` wordlines per group and
+    /// `element_width` bits per stored element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidLayout`] if either parameter is zero, or
+    /// [`SramError::WidthTooWide`] if `element_width > 64`.
+    pub fn new(lines_per_group: usize, element_width: u32) -> Result<Self, SramError> {
+        if lines_per_group == 0 {
+            return Err(SramError::InvalidLayout("lines_per_group must be non-zero".into()));
+        }
+        if element_width == 0 {
+            return Err(SramError::InvalidLayout("element_width must be non-zero".into()));
+        }
+        if element_width > 64 {
+            return Err(SramError::WidthTooWide(element_width));
+        }
+        Ok(GroupLayout { lines_per_group, element_width })
+    }
+
+    /// Wordlines per group.
+    #[inline]
+    pub fn lines_per_group(&self) -> usize {
+        self.lines_per_group
+    }
+
+    /// Bits per stored element.
+    #[inline]
+    pub fn element_width(&self) -> u32 {
+        self.element_width
+    }
+
+    /// How many whole groups fit in `geom` (leftover rows are unused —
+    /// the paper's Fig. 3 shows this dotted "unused SRAM space").
+    #[inline]
+    pub fn groups(&self, geom: BankGeometry) -> usize {
+        geom.rows() / self.lines_per_group
+    }
+
+    /// How many elements fit side by side in one group.
+    #[inline]
+    pub fn elements_per_group(&self, geom: BankGeometry) -> usize {
+        geom.cols() / self.element_width as usize
+    }
+
+    /// Total element capacity of a bank with this layout.
+    #[inline]
+    pub fn capacity(&self, geom: BankGeometry) -> usize {
+        self.groups(geom) * self.elements_per_group(geom)
+    }
+
+    /// Checks that at least one group and one slot fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidLayout`] when the bank cannot hold a
+    /// single group or slot.
+    pub fn validate(&self, geom: BankGeometry) -> Result<(), SramError> {
+        if self.groups(geom) == 0 {
+            return Err(SramError::InvalidLayout(format!(
+                "{} lines per group do not fit in {} rows",
+                self.lines_per_group,
+                geom.rows()
+            )));
+        }
+        if self.elements_per_group(geom) == 0 {
+            return Err(SramError::InvalidLayout(format!(
+                "element width {} does not fit in {} columns",
+                self.element_width,
+                geom.cols()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// An SRAM bank programmed with the DAISM group/slot discipline.
+///
+/// `SramBank` adds group/line/slot addressing on top of [`SramArray`] and
+/// exposes the two operations the accelerator performs:
+///
+/// * [`SramBank::write_line`] — program one line of one slot (kernel
+///   pre-loading);
+/// * [`SramBank::read_or_group`] — activate a set of lines in a group (via
+///   a bitmask produced by the address decoder in `daism-core`) and read
+///   **every slot** of the group in one cycle.
+#[derive(Debug, Clone)]
+pub struct SramBank {
+    array: SramArray,
+    layout: GroupLayout,
+    groups: usize,
+    slots: usize,
+}
+
+impl SramBank {
+    /// Creates a zeroed bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidLayout`] if the layout does not tile the
+    /// geometry.
+    pub fn new(geometry: BankGeometry, layout: GroupLayout) -> Result<Self, SramError> {
+        layout.validate(geometry)?;
+        let groups = layout.groups(geometry);
+        let slots = layout.elements_per_group(geometry);
+        Ok(SramBank { array: SramArray::new(geometry), layout, groups, slots })
+    }
+
+    /// The bank's layout.
+    #[inline]
+    pub fn layout(&self) -> GroupLayout {
+        self.layout
+    }
+
+    /// The bank's geometry.
+    #[inline]
+    pub fn geometry(&self) -> BankGeometry {
+        self.array.geometry()
+    }
+
+    /// Number of wordline groups.
+    #[inline]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Element slots per group.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Total element capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.groups * self.slots
+    }
+
+    /// Accumulated access statistics.
+    #[inline]
+    pub fn stats(&self) -> AccessStats {
+        self.array.stats()
+    }
+
+    /// Resets access statistics.
+    pub fn reset_stats(&mut self) {
+        self.array.reset_stats();
+    }
+
+    fn check(&self, group: usize, slot: usize) -> Result<(), SramError> {
+        if group >= self.groups {
+            return Err(SramError::GroupOutOfRange { group, groups: self.groups });
+        }
+        if slot >= self.slots {
+            return Err(SramError::SlotOutOfRange { slot, slots: self.slots });
+        }
+        Ok(())
+    }
+
+    fn row_of(&self, group: usize, line: usize) -> usize {
+        group * self.layout.lines_per_group() + line
+    }
+
+    fn col_of(&self, slot: usize) -> usize {
+        slot * self.layout.element_width() as usize
+    }
+
+    /// Programs `pattern` on `line` of `group`, in the column window of
+    /// `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns range errors for bad `group`/`line`/`slot`, or
+    /// [`SramError::ValueTooWide`] if `pattern` exceeds the element width.
+    pub fn write_line(
+        &mut self,
+        group: usize,
+        line: usize,
+        slot: usize,
+        pattern: u64,
+    ) -> Result<(), SramError> {
+        self.check(group, slot)?;
+        if line >= self.layout.lines_per_group() {
+            return Err(SramError::LineOutOfRange { line, lines: self.layout.lines_per_group() });
+        }
+        self.array.write_word(
+            self.row_of(group, line),
+            self.col_of(slot),
+            self.layout.element_width(),
+            pattern,
+        )
+    }
+
+    /// Activates the lines of `group` selected by `line_mask` (bit *i* set
+    /// activates line *i*) and reads the wired-OR in `slot`'s window.
+    ///
+    /// This charges one OR-read to the statistics; use
+    /// [`SramBank::read_or_group`] for the physical one-cycle
+    /// all-slots read.
+    ///
+    /// # Errors
+    ///
+    /// Returns range errors for bad `group`/`slot`, or
+    /// [`SramError::LineOutOfRange`] if the mask selects a non-existent
+    /// line.
+    pub fn read_or_slot(
+        &mut self,
+        group: usize,
+        line_mask: u64,
+        slot: usize,
+    ) -> Result<u64, SramError> {
+        self.check(group, slot)?;
+        let rows = self.rows_from_mask(group, line_mask)?;
+        self.array.read_or(&rows, self.col_of(slot), self.layout.element_width())
+    }
+
+    /// Activates the lines of `group` selected by `line_mask` and reads
+    /// **all slots** in one cycle — the DAISM "one input × all kernel
+    /// elements" operation. Slot `i` of the result is the OR read in slot
+    /// `i`'s column window.
+    ///
+    /// # Errors
+    ///
+    /// Returns range errors for a bad `group` or mask.
+    pub fn read_or_group(&mut self, group: usize, line_mask: u64) -> Result<Vec<u64>, SramError> {
+        if group >= self.groups {
+            return Err(SramError::GroupOutOfRange { group, groups: self.groups });
+        }
+        let rows = self.rows_from_mask(group, line_mask)?;
+        let words = self.array.read_or_full(&rows)?;
+        let w = self.layout.element_width();
+        let mut out = Vec::with_capacity(self.slots);
+        for slot in 0..self.slots {
+            let col = self.col_of(slot);
+            let w0 = col / 64;
+            let off = (col % 64) as u32;
+            let lo_bits = (64 - off).min(w);
+            let mut v = (words[w0] >> off) & mask64(lo_bits);
+            if w > lo_bits {
+                v |= (words[w0 + 1] & mask64(w - lo_bits)) << lo_bits;
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    fn rows_from_mask(&self, group: usize, line_mask: u64) -> Result<Vec<usize>, SramError> {
+        let lines = self.layout.lines_per_group();
+        if lines < 64 && line_mask >> lines != 0 {
+            let bad = (line_mask >> lines).trailing_zeros() as usize + lines;
+            return Err(SramError::LineOutOfRange { line: bad, lines });
+        }
+        let mut rows = Vec::with_capacity(line_mask.count_ones() as usize);
+        for line in 0..lines.min(64) {
+            if (line_mask >> line) & 1 == 1 {
+                rows.push(self.row_of(group, line));
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Injects a stuck-at fault into the cell at bit `bit` of `slot`'s
+    /// window on `line` of `group` (see
+    /// [`SramArray::inject_stuck_at`](crate::SramArray::inject_stuck_at)).
+    ///
+    /// # Errors
+    ///
+    /// Returns range errors for bad coordinates.
+    pub fn inject_stuck_at(
+        &mut self,
+        group: usize,
+        line: usize,
+        slot: usize,
+        bit: u32,
+        value: bool,
+    ) -> Result<(), SramError> {
+        self.check(group, slot)?;
+        if line >= self.layout.lines_per_group() {
+            return Err(SramError::LineOutOfRange { line, lines: self.layout.lines_per_group() });
+        }
+        if bit >= self.layout.element_width() {
+            return Err(SramError::ColOutOfRange {
+                col: self.col_of(slot) + bit as usize,
+                width: 1,
+                cols: self.geometry().cols(),
+            });
+        }
+        self.array.inject_stuck_at(self.row_of(group, line), self.col_of(slot) + bit as usize, value)
+    }
+
+    /// Number of faulty cells in this bank.
+    pub fn fault_count(&self) -> usize {
+        self.array.fault_count()
+    }
+
+    /// Removes all injected faults.
+    pub fn clear_faults(&mut self) {
+        self.array.clear_faults();
+    }
+
+    /// Debug read of one programmed line (not counted in stats; fault
+    /// overlays not applied).
+    pub fn peek_line(&self, group: usize, line: usize, slot: usize) -> Result<u64, SramError> {
+        self.check(group, slot)?;
+        if line >= self.layout.lines_per_group() {
+            return Err(SramError::LineOutOfRange { line, lines: self.layout.lines_per_group() });
+        }
+        self.array.peek(self.row_of(group, line), self.col_of(slot), self.layout.element_width())
+    }
+
+    /// Clears all cells (stats unaffected).
+    pub fn clear(&mut self) {
+        self.array.clear();
+    }
+}
+
+#[inline]
+fn mask64(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank_8k() -> SramBank {
+        SramBank::new(
+            BankGeometry::square_from_bytes(8 * 1024).unwrap(),
+            GroupLayout::new(8, 16).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_8kb_capacity() {
+        let b = bank_8k();
+        assert_eq!(b.groups(), 32);
+        assert_eq!(b.slots(), 16);
+        assert_eq!(b.capacity(), 512);
+    }
+
+    #[test]
+    fn paper_512kb_capacity_matches_text() {
+        // §V-C2: "such a 512kB bank can store up to 128x256 kernel
+        // elements" with 8-line groups and 16-bit elements.
+        let b = SramBank::new(
+            BankGeometry::square_from_bytes(512 * 1024).unwrap(),
+            GroupLayout::new(8, 16).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(b.slots(), 128);
+        assert_eq!(b.groups(), 256);
+        assert_eq!(b.capacity(), 128 * 256);
+    }
+
+    #[test]
+    fn write_then_or_read_slotwise() {
+        let mut b = bank_8k();
+        b.write_line(3, 0, 7, 0x8001).unwrap();
+        b.write_line(3, 4, 7, 0x0810).unwrap();
+        b.write_line(3, 7, 7, 0x0002).unwrap();
+        // Activate lines 0, 4, 7.
+        let v = b.read_or_slot(3, 0b1001_0001, 7).unwrap();
+        assert_eq!(v, 0x8813);
+    }
+
+    #[test]
+    fn group_read_returns_every_slot() {
+        let mut b = bank_8k();
+        for slot in 0..b.slots() {
+            b.write_line(1, 0, slot, slot as u64 + 1).unwrap();
+            b.write_line(1, 1, slot, 0x100).unwrap();
+        }
+        let all = b.read_or_group(1, 0b11).unwrap();
+        assert_eq!(all.len(), 16);
+        for (slot, v) in all.iter().enumerate() {
+            assert_eq!(*v, (slot as u64 + 1) | 0x100);
+        }
+        // One OR read, two wordlines, all 256 bitlines.
+        let st = b.stats();
+        assert_eq!(st.or_reads, 1);
+        assert_eq!(st.wordline_activations, 2);
+        assert_eq!(st.bitlines_sensed, 256);
+    }
+
+    #[test]
+    fn group_read_matches_slot_reads() {
+        let mut b = bank_8k();
+        for slot in 0..b.slots() {
+            for line in 0..8 {
+                let pat = ((slot * 31 + line * 7) as u64 * 2654435761) & 0xFFFF;
+                b.write_line(5, line, slot, pat).unwrap();
+            }
+        }
+        let mask = 0b1011_0101u64;
+        let grouped = b.read_or_group(5, mask).unwrap();
+        for slot in 0..b.slots() {
+            let single = b.read_or_slot(5, mask, slot).unwrap();
+            assert_eq!(grouped[slot], single, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn unaligned_element_width_straddles_words() {
+        // 9-bit elements force slot windows to straddle u64 boundaries.
+        let geom = BankGeometry::new(4, 90).unwrap();
+        let layout = GroupLayout::new(2, 9).unwrap();
+        let mut b = SramBank::new(geom, layout).unwrap();
+        assert_eq!(b.slots(), 10);
+        for slot in 0..10 {
+            b.write_line(0, 0, slot, (slot as u64 * 37) & 0x1FF).unwrap();
+            b.write_line(0, 1, slot, (slot as u64 * 101) & 0x1FF).unwrap();
+        }
+        let all = b.read_or_group(0, 0b11).unwrap();
+        for slot in 0..10 {
+            let expect = ((slot as u64 * 37) & 0x1FF) | ((slot as u64 * 101) & 0x1FF);
+            assert_eq!(all[slot], expect, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn mask_selecting_missing_line_errors() {
+        let mut b = bank_8k();
+        let err = b.read_or_slot(0, 1 << 8, 0).unwrap_err();
+        assert_eq!(err, SramError::LineOutOfRange { line: 8, lines: 8 });
+    }
+
+    #[test]
+    fn range_errors() {
+        let mut b = bank_8k();
+        assert!(matches!(b.write_line(32, 0, 0, 0), Err(SramError::GroupOutOfRange { .. })));
+        assert!(matches!(b.write_line(0, 8, 0, 0), Err(SramError::LineOutOfRange { .. })));
+        assert!(matches!(b.write_line(0, 0, 16, 0), Err(SramError::SlotOutOfRange { .. })));
+        assert!(matches!(b.write_line(0, 0, 0, 1 << 16), Err(SramError::ValueTooWide { .. })));
+        assert!(matches!(b.read_or_group(99, 1), Err(SramError::GroupOutOfRange { .. })));
+    }
+
+    #[test]
+    fn layout_validation() {
+        let geom = BankGeometry::new(4, 8).unwrap();
+        assert!(GroupLayout::new(8, 4).unwrap().validate(geom).is_err());
+        assert!(GroupLayout::new(2, 16).unwrap().validate(geom).is_err());
+        assert!(GroupLayout::new(2, 8).unwrap().validate(geom).is_ok());
+        assert!(GroupLayout::new(0, 8).is_err());
+        assert!(GroupLayout::new(8, 0).is_err());
+        assert!(GroupLayout::new(8, 65).is_err());
+    }
+
+    #[test]
+    fn truncated_layout_doubles_slots() {
+        let geom = BankGeometry::square_from_bytes(8 * 1024).unwrap();
+        let full = GroupLayout::new(8, 16).unwrap();
+        let truncated = GroupLayout::new(8, 8).unwrap();
+        assert_eq!(truncated.elements_per_group(geom), 2 * full.elements_per_group(geom));
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SRAM model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SramError {
+    /// A row index was outside the array.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows in the array.
+        rows: usize,
+    },
+    /// A column access (`col .. col + width`) fell outside the array.
+    ColOutOfRange {
+        /// First column of the access.
+        col: usize,
+        /// Width of the access in bits.
+        width: u32,
+        /// Number of columns in the array.
+        cols: usize,
+    },
+    /// A word access wider than 64 bits was requested.
+    WidthTooWide(u32),
+    /// A value did not fit in the destination width.
+    ValueTooWide {
+        /// The value to be written.
+        value: u64,
+        /// The destination width in bits.
+        width: u32,
+    },
+    /// The requested geometry is invalid (e.g. capacity not a power of two).
+    InvalidGeometry(String),
+    /// The group layout does not tile the bank geometry.
+    InvalidLayout(String),
+    /// A group index was outside the bank.
+    GroupOutOfRange {
+        /// The offending group index.
+        group: usize,
+        /// Number of groups in the bank.
+        groups: usize,
+    },
+    /// A line index was outside the group.
+    LineOutOfRange {
+        /// The offending line index.
+        line: usize,
+        /// Lines per group.
+        lines: usize,
+    },
+    /// A slot (element) index was outside the group.
+    SlotOutOfRange {
+        /// The offending slot index.
+        slot: usize,
+        /// Slots per group.
+        slots: usize,
+    },
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (array has {rows} rows)")
+            }
+            SramError::ColOutOfRange { col, width, cols } => {
+                write!(f, "columns {col}..{} out of range (array has {cols} columns)", col + *width as usize)
+            }
+            SramError::WidthTooWide(w) => write!(f, "word access width {w} exceeds 64 bits"),
+            SramError::ValueTooWide { value, width } => {
+                write!(f, "value {value:#x} does not fit in {width} bits")
+            }
+            SramError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            SramError::InvalidLayout(msg) => write!(f, "invalid layout: {msg}"),
+            SramError::GroupOutOfRange { group, groups } => {
+                write!(f, "group {group} out of range (bank has {groups} groups)")
+            }
+            SramError::LineOutOfRange { line, lines } => {
+                write!(f, "line {line} out of range (group has {lines} lines)")
+            }
+            SramError::SlotOutOfRange { slot, slots } => {
+                write!(f, "slot {slot} out of range (group has {slots} slots)")
+            }
+        }
+    }
+}
+
+impl Error for SramError {}

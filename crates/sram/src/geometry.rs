@@ -1,0 +1,157 @@
+use crate::error::SramError;
+
+/// Physical shape of an SRAM bank in bits.
+///
+/// The paper assumes square banks ("while DAISM suits any memory shape, a
+/// standard squared memory is assumed", §V-C2): an 8 kB bank is 256×256
+/// bits, 32 kB is 512×512, 512 kB is 2048×2048. Capacities whose bit count
+/// is an odd power of two become the nearest 2:1 rectangle (wider than
+/// tall, which shortens bitlines — the cheaper direction for reads).
+///
+/// # Examples
+///
+/// ```
+/// use daism_sram::BankGeometry;
+///
+/// let g = BankGeometry::square_from_bytes(8 * 1024)?;
+/// assert_eq!((g.rows(), g.cols()), (256, 256));
+///
+/// let g = BankGeometry::square_from_bytes(2 * 1024)?; // 16 Kibit
+/// assert_eq!((g.rows(), g.cols()), (128, 128));
+/// # Ok::<(), daism_sram::SramError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BankGeometry {
+    rows: usize,
+    cols: usize,
+}
+
+impl BankGeometry {
+    /// Creates an explicit geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidGeometry`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, SramError> {
+        if rows == 0 || cols == 0 {
+            return Err(SramError::InvalidGeometry(format!(
+                "dimensions must be non-zero (got {rows}x{cols})"
+            )));
+        }
+        Ok(BankGeometry { rows, cols })
+    }
+
+    /// Creates the (near-)square geometry for a power-of-two capacity in
+    /// bytes, matching the paper's bank shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::InvalidGeometry`] if `bytes` is zero or not a
+    /// power of two.
+    pub fn square_from_bytes(bytes: usize) -> Result<Self, SramError> {
+        if bytes == 0 || !bytes.is_power_of_two() {
+            return Err(SramError::InvalidGeometry(format!(
+                "capacity {bytes} B is not a non-zero power of two"
+            )));
+        }
+        let bits = bytes * 8;
+        let log2 = bits.trailing_zeros();
+        // Even log2: perfect square. Odd: wider than tall (cols = 2*rows).
+        let row_log = log2 / 2;
+        let rows = 1usize << row_log;
+        let cols = bits / rows;
+        Ok(BankGeometry { rows, cols })
+    }
+
+    /// Number of wordlines (rows).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bitline columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total capacity in bits.
+    #[inline]
+    pub fn bits(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total capacity in bytes (rounded down).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bits() / 8
+    }
+}
+
+impl std::fmt::Display for BankGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{} bits ({} B)", self.rows, self.cols, self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bank_shapes() {
+        // The three bank sizes discussed in the paper's evaluation.
+        assert_eq!(
+            BankGeometry::square_from_bytes(8 * 1024).unwrap(),
+            BankGeometry { rows: 256, cols: 256 }
+        );
+        assert_eq!(
+            BankGeometry::square_from_bytes(32 * 1024).unwrap(),
+            BankGeometry { rows: 512, cols: 512 }
+        );
+        assert_eq!(
+            BankGeometry::square_from_bytes(512 * 1024).unwrap(),
+            BankGeometry { rows: 2048, cols: 2048 }
+        );
+        assert_eq!(
+            BankGeometry::square_from_bytes(128 * 1024).unwrap(),
+            BankGeometry { rows: 1024, cols: 1024 }
+        );
+    }
+
+    #[test]
+    fn odd_power_capacity_is_wider_than_tall() {
+        let g = BankGeometry::square_from_bytes(16 * 1024).unwrap(); // 2^17 bits
+        assert_eq!((g.rows(), g.cols()), (256, 512));
+        assert_eq!(g.bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn capacity_roundtrip() {
+        for shift in 0..12 {
+            let bytes = 1024usize << shift;
+            let g = BankGeometry::square_from_bytes(bytes).unwrap();
+            assert_eq!(g.bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(BankGeometry::square_from_bytes(0).is_err());
+        assert!(BankGeometry::square_from_bytes(3000).is_err());
+    }
+
+    #[test]
+    fn explicit_geometry_validated() {
+        assert!(BankGeometry::new(0, 8).is_err());
+        assert!(BankGeometry::new(8, 0).is_err());
+        let g = BankGeometry::new(100, 200).unwrap();
+        assert_eq!(g.bits(), 20_000);
+    }
+
+    #[test]
+    fn display_mentions_dims() {
+        let g = BankGeometry::square_from_bytes(8192).unwrap();
+        assert_eq!(g.to_string(), "256x256 bits (8192 B)");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests: the wired-OR read must behave exactly like a
+//! bitwise OR of the programmed patterns, for any geometry and any access
+//! pattern.
+
+use daism_sram::{BankGeometry, BitMatrix, GroupLayout, SramBank};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bitmatrix_write_read_roundtrip(
+        cols in 1usize..200,
+        col in 0usize..150,
+        width in 0u32..=64,
+        value in any::<u64>(),
+    ) {
+        prop_assume!(col + width as usize <= cols);
+        let value = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+        let mut m = BitMatrix::new(4, cols);
+        m.write_bits(2, col, width, value).unwrap();
+        prop_assert_eq!(m.read_bits(2, col, width).unwrap(), value);
+        // Other rows untouched.
+        prop_assert_eq!(m.read_bits(1, col, width).unwrap(), 0);
+    }
+
+    #[test]
+    fn bitmatrix_or_equals_software_or(
+        patterns in prop::collection::vec(any::<u64>(), 1..8),
+        width in 1u32..=48,
+    ) {
+        let mut m = BitMatrix::new(patterns.len(), 64);
+        let mut expect = 0u64;
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        for (row, &p) in patterns.iter().enumerate() {
+            m.write_bits(row, 0, width, p & mask).unwrap();
+            expect |= p & mask;
+        }
+        let rows: Vec<usize> = (0..patterns.len()).collect();
+        prop_assert_eq!(m.read_bits_or(&rows, 0, width).unwrap(), expect);
+    }
+
+    #[test]
+    fn adjacent_writes_do_not_interfere(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        col in 0usize..60,
+        width in 1u32..=16,
+    ) {
+        let mask = (1u64 << width) - 1;
+        let mut m = BitMatrix::new(1, 256);
+        m.write_bits(0, col, width, a & mask).unwrap();
+        m.write_bits(0, col + width as usize, width, b & mask).unwrap();
+        prop_assert_eq!(m.read_bits(0, col, width).unwrap(), a & mask);
+        prop_assert_eq!(m.read_bits(0, col + width as usize, width).unwrap(), b & mask);
+    }
+
+    #[test]
+    fn bank_group_read_equals_per_slot_reads(
+        seed in any::<u64>(),
+        mask in 1u64..256,
+    ) {
+        let geom = BankGeometry::square_from_bytes(2 * 1024).unwrap(); // 128x128
+        let layout = GroupLayout::new(8, 16).unwrap();
+        let mut bank = SramBank::new(geom, layout).unwrap();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 48
+        };
+        for group in 0..bank.groups() {
+            for line in 0..8 {
+                for slot in 0..bank.slots() {
+                    bank.write_line(group, line, slot, next()).unwrap();
+                }
+            }
+        }
+        for group in 0..bank.groups() {
+            let grouped = bank.read_or_group(group, mask).unwrap();
+            for slot in 0..bank.slots() {
+                prop_assert_eq!(grouped[slot], bank.read_or_slot(group, mask, slot).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn or_read_dominates_each_line(
+        lines in prop::collection::vec(0u64..0xFFFF, 2..8),
+        mask_bits in 1u8..=255,
+    ) {
+        let geom = BankGeometry::square_from_bytes(2 * 1024).unwrap();
+        let layout = GroupLayout::new(8, 16).unwrap();
+        let mut bank = SramBank::new(geom, layout).unwrap();
+        for (i, &p) in lines.iter().enumerate() {
+            bank.write_line(0, i, 3, p).unwrap();
+        }
+        let mask = (mask_bits as u64) & ((1 << lines.len()) - 1);
+        prop_assume!(mask != 0);
+        let v = bank.read_or_slot(0, mask, 3).unwrap();
+        for (i, &p) in lines.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                // OR result contains every activated line's bits.
+                prop_assert_eq!(v & p, p);
+            }
+        }
+    }
+}

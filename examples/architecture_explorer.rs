@@ -1,0 +1,76 @@
+//! Architecture design-space exploration (the Fig. 7/8 scenario): sweep
+//! bank count and size, printing the cycles/area/energy Pareto data for
+//! every layer of VGG-8.
+//!
+//! Run with: `cargo run --release --example architecture_explorer`
+
+use daism::arch::{vgg8_layers, DaismConfig, DaismModel, EyerissModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layers = vgg8_layers();
+
+    println!("== VGG-8 layer 1 across the design space ==");
+    println!(
+        "{:<12} {:>6} {:>12} {:>10} {:>10} {:>10}",
+        "config", "PEs", "cycles", "area mm2", "GOPS", "GOPS/mW"
+    );
+    for banks in [1usize, 4, 16, 64] {
+        for kb in [8usize, 32, 128] {
+            let cfg = DaismConfig {
+                banks,
+                bank_bytes: kb * 1024,
+                ..DaismConfig::paper_16x8kb()
+            };
+            let Ok(model) = DaismModel::new(cfg) else { continue };
+            let gemm = layers[0].gemm();
+            match model.evaluate(&gemm) {
+                Ok(eval) => println!(
+                    "{:<12} {:>6} {:>12} {:>10.2} {:>10.1} {:>10.3}",
+                    model.config().short_name(),
+                    model.config().pes(),
+                    eval.perf.total_cycles,
+                    eval.area.total_mm2(),
+                    eval.perf.gops,
+                    eval.energy.gops_per_mw
+                ),
+                Err(e) => println!(
+                    "{:<12} {:>6} (unmappable: {e})",
+                    model.config().short_name(),
+                    model.config().pes()
+                ),
+            }
+        }
+    }
+
+    println!("\n== the paper's 16x8kB design across all VGG-8 conv layers ==");
+    let model = DaismModel::new(DaismConfig::paper_16x8kb())?;
+    println!(
+        "{:<8} {:>14} {:>12} {:>8} {:>10}",
+        "layer", "GEMM", "cycles", "util", "GOPS"
+    );
+    for layer in &layers {
+        let gemm = layer.gemm();
+        match model.perf(&gemm) {
+            Ok(p) => println!(
+                "{:<8} {:>14} {:>12} {:>7.1}% {:>10.1}",
+                layer.name,
+                format!("{}x{}x{}", gemm.m, gemm.k, gemm.n),
+                p.total_cycles,
+                100.0 * p.utilization,
+                p.gops
+            ),
+            Err(e) => println!("{:<8} {:>14} does not fit: {e}", layer.name, ""),
+        }
+    }
+
+    println!("\n== Eyeriss-style baseline for reference ==");
+    let eyeriss = EyerissModel::default();
+    let p = eyeriss.conv_cycles(&layers[0])?;
+    println!(
+        "{eyeriss}: layer 1 in {} cycles ({:.2} mm², {:.1} GOPS)",
+        p.cycles,
+        eyeriss.area_mm2(),
+        p.gops
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: multiply numbers with every DAISM configuration, inspect
+//! the wordline mechanics, and run a multiplication through the actual
+//! bit-level SRAM model.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use daism::core::error_analysis;
+use daism::{
+    ApproxFpMul, BankGeometry, FpFormat, FpScalar, MantissaMultiplier, MultiplierConfig,
+    OperandMode, ScalarMul, SramMultiplier,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (x, y) = (1.8671875f32, 2.71875f32);
+    println!("multiplying {x} x {y} (exact = {})\n", x * y);
+
+    // 1. Every Table I configuration, at bfloat16.
+    println!("== the Table I ladder (bfloat16) ==");
+    for config in MultiplierConfig::ALL {
+        let mul = ApproxFpMul::new(config, FpFormat::BF16);
+        let approx = mul.mul(x, y);
+        let rel = (x * y - approx) / (x * y);
+        println!("{:<8} -> {approx:<12} (rel err {:.2}%)", config.to_string(), 100.0 * rel);
+    }
+
+    // 2. What is physically on the wordlines for PC3?
+    println!("\n== PC3 wordline group for multiplicand {x} ==");
+    let xs = FpScalar::from_f32(x, FpFormat::BF16);
+    let mult = MantissaMultiplier::new(MultiplierConfig::PC3, OperandMode::Fp, 8);
+    for (i, spec) in mult.layout().specs().iter().enumerate() {
+        println!(
+            "line {i}: {:<4} pattern {:016b}",
+            spec.letter_name(8),
+            mult.layout().stored_pattern(i, xs.mantissa())
+        );
+    }
+    let ys = FpScalar::from_f32(y, FpFormat::BF16);
+    println!(
+        "decoding multiplier {:08b} activates line mask {:09b}",
+        ys.mantissa(),
+        mult.layout().decode(ys.mantissa())
+    );
+
+    // 3. The same multiplication through the bit-level SRAM.
+    println!("\n== SRAM-backed execution (8 kB bank) ==");
+    let geom = BankGeometry::square_from_bytes(8 * 1024)?;
+    let mut sram = SramMultiplier::new(MultiplierConfig::PC3, OperandMode::Fp, 8, geom)?;
+    sram.program(0, 0, xs.mantissa())?;
+    let raw = sram.multiply(0, 0, ys.mantissa())?;
+    let product = ApproxFpMul::new(MultiplierConfig::PC3, FpFormat::BF16)
+        .combine_raw(&xs, &ys, raw)
+        .to_f32();
+    println!("raw OR read-out = {raw:#06x}, recombined product = {product}");
+    println!("SRAM stats: {}", sram.stats());
+
+    // 4. How accurate is each configuration overall?
+    println!("\n== exhaustive bf16 error statistics ==");
+    for config in MultiplierConfig::ALL {
+        let m = MantissaMultiplier::new(config, OperandMode::Fp, 8);
+        println!("{:<8} {}", config.to_string(), error_analysis::exhaustive(&m));
+    }
+    Ok(())
+}

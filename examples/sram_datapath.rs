@@ -1,0 +1,41 @@
+//! End-to-end functional datapath demo: a real GEMM executed through
+//! the bit-level multi-bank SRAM model, with zero-input bypass and
+//! access statistics — the closest thing to "running the chip".
+//!
+//! Run with: `cargo run --release --example sram_datapath`
+
+use daism::arch::FunctionalDaism;
+use daism::{DaismConfig, FpFormat, GemmShape, MultiplierConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small GEMM: 12 output channels, 9 kernel elements each
+    // (a 3x3 conv on one input channel), 16 output positions.
+    let gemm = GemmShape::new(12, 9, 16)?;
+    let weights: Vec<f32> =
+        (0..gemm.kernel_elements()).map(|i| ((i % 13) as f32 - 6.0) / 4.0).collect();
+    let inputs: Vec<f32> = (0..gemm.k * gemm.n)
+        .map(|i| if i % 6 == 0 { 0.0 } else { ((i % 17) as f32 - 8.0) / 5.0 })
+        .collect();
+
+    let cfg = DaismConfig::new(2, 2 * 1024, FpFormat::BF16, MultiplierConfig::PC3_TR, 1000.0);
+    println!("configuration: {cfg}");
+
+    let mut hw = FunctionalDaism::new(cfg, gemm, &weights)?;
+    println!(
+        "mapping: {} segments over 2 banks, occupancy {:.0}%",
+        hw.mapping().segments,
+        100.0 * hw.mapping().occupancy()
+    );
+
+    let out = hw.execute(&inputs)?;
+    println!("\nexecuted {} activations ({} bypassed for zero inputs)", hw.activations(), hw.bypassed());
+    println!("SRAM stats: {}", hw.sram_stats());
+
+    // Compare one output column against the exact result.
+    println!("\noutput column 0: approximate vs exact");
+    for r in 0..gemm.m {
+        let exact: f32 = (0..gemm.k).map(|c| weights[r * gemm.k + c] * inputs[c * gemm.n]).sum();
+        println!("  row {r:>2}: {:>9.4} (exact {:>9.4})", out[r * gemm.n], exact);
+    }
+    Ok(())
+}

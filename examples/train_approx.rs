@@ -1,0 +1,66 @@
+//! The title claim — DNN *training* on the approximate multiplier:
+//! trains the same networks with exact f32 and with fully approximate
+//! arithmetic (forward **and** backward GEMMs through the OR-multiplier)
+//! and compares convergence on an easy and a hard task.
+//!
+//! Run with: `cargo run --release --example train_approx`
+
+use daism::dnn::{datasets, models, train};
+use daism::{ApproxFpMul, ExactMul, FpFormat, MultiplierConfig, ScalarMul};
+
+fn main() {
+    let tasks: Vec<(&str, datasets::Dataset, usize, f32)> = vec![
+        (
+            "blobs (4 cls, 12-d)",
+            datasets::gaussian_blobs_spread(4, 12, 400, 160, 77, 1.0),
+            10,
+            0.05,
+        ),
+        ("spiral (3 cls, hard)", datasets::spiral(3, 450, 150, 4242), 14, 0.06),
+    ];
+
+    for (task_name, data, epochs, lr) in tasks {
+        let params = train::TrainParams { epochs, lr, ..Default::default() };
+        let in_dim = data.train_x.shape()[1];
+        println!(
+            "== {task_name}: {} train / {} test, MLP {in_dim}-24-24-{}, {epochs} epochs ==",
+            data.train_len(),
+            data.test_len(),
+            data.classes
+        );
+        let runs: Vec<(&str, Box<dyn ScalarMul>)> = vec![
+            ("exact float32", Box::new(ExactMul)),
+            (
+                "approx bf16 PC3_tr (fwd+bwd)",
+                Box::new(ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16)),
+            ),
+            (
+                "approx bf16 FLA (fwd+bwd)",
+                Box::new(ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::BF16)),
+            ),
+        ];
+        println!(
+            "{:<30} {:>12} {:>12} {:>12}",
+            "training arithmetic", "final loss", "train acc", "test acc"
+        );
+        for (label, mul) in &runs {
+            let mut model = models::mlp(in_dim, 24, data.classes, 2);
+            let history = train::fit(&mut model, &data, mul.as_ref(), &params);
+            let test_acc =
+                train::accuracy(&mut model, &data.test_x, &data.test_y, mul.as_ref());
+            println!(
+                "{:<30} {:>12.4} {:>11.1}% {:>11.1}%",
+                label,
+                history.loss.last().unwrap(),
+                100.0 * history.train_acc.last().unwrap(),
+                100.0 * test_acc
+            );
+        }
+        println!();
+    }
+    println!("Observations: fully-approximate training *converges* (the title's claim is");
+    println!("feasibility, not parity). On well-separated tasks it lands near the exact");
+    println!("baseline; on hard non-linear tasks the ~5% multiplicative gradient error");
+    println!("costs accuracy — the paper's Fig. 4 accordingly evaluates inference on");
+    println!("models trained in full precision.");
+}
