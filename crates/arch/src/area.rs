@@ -35,10 +35,7 @@ impl AreaReport {
     /// Non-SRAM ("other digital circuits") area: everything except the
     /// banks and scratchpads.
     pub fn digital_mm2(&self) -> f64 {
-        self.iter()
-            .filter(|(n, _)| *n != "sram banks" && *n != "scratchpads")
-            .map(|(_, v)| v)
-            .sum()
+        self.iter().filter(|(n, _)| *n != "sram banks" && *n != "scratchpads").map(|(_, v)| v).sum()
     }
 
     /// Gate-equivalent total area `(low, high)` per the paper's Table II
@@ -141,10 +138,7 @@ mod tests {
         // Fig. 8: "as memory banks get larger, the area becomes dominated
         // by the SRAM memory".
         let small = area(&DaismConfig::paper_16x8kb());
-        let big = area(&DaismConfig {
-            bank_bytes: 128 * 1024,
-            ..DaismConfig::paper_16x8kb()
-        });
+        let big = area(&DaismConfig { bank_bytes: 128 * 1024, ..DaismConfig::paper_16x8kb() });
         assert!(big.sram_fraction() > small.sram_fraction());
         assert!(big.sram_fraction() > 0.5);
     }
@@ -153,16 +147,10 @@ mod tests {
     fn more_banks_become_digital_dominated() {
         // Fig. 8: "as the number of banks increases, the area becomes
         // dominated by other digital circuits" (same total capacity).
-        let few = area(&DaismConfig {
-            banks: 4,
-            bank_bytes: 32 * 1024,
-            ..DaismConfig::paper_16x8kb()
-        });
-        let many = area(&DaismConfig {
-            banks: 32,
-            bank_bytes: 4 * 1024,
-            ..DaismConfig::paper_16x8kb()
-        });
+        let few =
+            area(&DaismConfig { banks: 4, bank_bytes: 32 * 1024, ..DaismConfig::paper_16x8kb() });
+        let many =
+            area(&DaismConfig { banks: 32, bank_bytes: 4 * 1024, ..DaismConfig::paper_16x8kb() });
         assert!(many.digital_mm2() / many.total_mm2() > few.digital_mm2() / few.total_mm2());
     }
 

@@ -110,13 +110,7 @@ impl DaismConfig {
         DaismConfig {
             lines_per_group: 8,
             element_width: 16,
-            ..DaismConfig::new(
-                16,
-                8 * 1024,
-                FpFormat::BF16,
-                MultiplierConfig::PC3_TR,
-                1000.0,
-            )
+            ..DaismConfig::new(16, 8 * 1024, FpFormat::BF16, MultiplierConfig::PC3_TR, 1000.0)
         }
     }
 
@@ -225,10 +219,8 @@ impl DaismConfig {
     /// Columns actually sensed per activation: truncated configurations
     /// sense only the top `n` columns of each window.
     pub fn sensed_cols_per_activation(&self) -> usize {
-        let sensed_per_slot = self
-            .mult
-            .stored_width(self.format.mantissa_width())
-            .min(self.element_width) as usize;
+        let sensed_per_slot =
+            self.mult.stored_width(self.format.mantissa_width()).min(self.element_width) as usize;
         self.slots_per_bank() * sensed_per_slot
     }
 
@@ -299,13 +291,7 @@ mod tests {
 
     #[test]
     fn derived_geometry_uses_layout() {
-        let cfg = DaismConfig::new(
-            4,
-            8 * 1024,
-            FpFormat::BF16,
-            MultiplierConfig::PC3,
-            1000.0,
-        );
+        let cfg = DaismConfig::new(4, 8 * 1024, FpFormat::BF16, MultiplierConfig::PC3, 1000.0);
         // PC3 bf16: 9 lines, 16-bit stored width.
         assert_eq!(cfg.lines_per_group, 9);
         assert_eq!(cfg.element_width, 16);
@@ -318,10 +304,7 @@ mod tests {
         let cfg = DaismConfig::paper_16x8kb();
         // 16 slots x 8 sensed bits (PC3_tr) = 128 of 256 columns.
         assert_eq!(cfg.sensed_cols_per_activation(), 128);
-        let full = DaismConfig {
-            mult: MultiplierConfig::PC3,
-            ..DaismConfig::paper_16x8kb()
-        };
+        let full = DaismConfig { mult: MultiplierConfig::PC3, ..DaismConfig::paper_16x8kb() };
         assert_eq!(full.sensed_cols_per_activation(), 256);
     }
 

@@ -94,7 +94,10 @@ pub fn energy_from_mapping(
     // Register file: one operand read per activation, fills from the
     // scratchpad per distinct (k, bank) delivery.
     let deliveries = mapping.input_deliveries_per_position as f64 * gemm.n as f64;
-    b.add("register file", activations * components::rf_read_pj(width) + deliveries * components::rf_write_pj(width));
+    b.add(
+        "register file",
+        activations * components::rf_read_pj(width) + deliveries * components::rf_write_pj(width),
+    );
 
     // Scratchpad traffic.
     let in_spad = config.input_spad_kb * 1024;
@@ -222,11 +225,9 @@ mod tests {
         // PC3 design senses twice the columns per activation (it also
         // needs its 9th physical line back, since H is no longer zero).
         let tr = layer1_energy(&DaismConfig::paper_16x8kb());
-        let full_cfg = DaismConfig {
-            mult: daism_core::MultiplierConfig::PC3,
-            ..DaismConfig::paper_16x8kb()
-        }
-        .with_geometry(9, 16);
+        let full_cfg =
+            DaismConfig { mult: daism_core::MultiplierConfig::PC3, ..DaismConfig::paper_16x8kb() }
+                .with_geometry(9, 16);
         let full = energy_gemm(&full_cfg, &vgg8_layers()[0].gemm()).unwrap();
         let tr_read = tr.breakdown.get("sram group read").unwrap();
         let full_read = full.breakdown.get("sram group read").unwrap();
@@ -261,11 +262,9 @@ mod tests {
         // At 200 MHz, nominal-voltage operation is leakage-dominated;
         // DVFS recovers efficiency past the 1 GHz point.
         let gemm = vgg8_layers()[0].gemm();
-        let fixed = energy_gemm(
-            &DaismConfig { clock_mhz: 200.0, ..DaismConfig::paper_16x8kb() },
-            &gemm,
-        )
-        .unwrap();
+        let fixed =
+            energy_gemm(&DaismConfig { clock_mhz: 200.0, ..DaismConfig::paper_16x8kb() }, &gemm)
+                .unwrap();
         let scaled = energy_gemm(
             &DaismConfig { clock_mhz: 200.0, dvfs: true, ..DaismConfig::paper_16x8kb() },
             &gemm,
@@ -275,8 +274,7 @@ mod tests {
         // And DVFS at full clock changes nothing.
         let nominal = layer1_energy(&DaismConfig::paper_16x8kb());
         let nominal_dvfs =
-            energy_gemm(&DaismConfig { dvfs: true, ..DaismConfig::paper_16x8kb() }, &gemm)
-                .unwrap();
+            energy_gemm(&DaismConfig { dvfs: true, ..DaismConfig::paper_16x8kb() }, &gemm).unwrap();
         assert!((nominal.total_pj - nominal_dvfs.total_pj).abs() / nominal.total_pj < 1e-9);
     }
 

@@ -2,7 +2,7 @@ use crate::config::DaismConfig;
 use crate::error::ArchError;
 use crate::mapper::{map_gemm, Mapping};
 use crate::workload::GemmShape;
-use daism_core::{ApproxFpMul, OperandMode, ScalarMul, SramMultiplier};
+use daism_core::{ApproxFpMul, OperandMode, SramMultiplier};
 use daism_num::{FpClass, FpScalar};
 use daism_sram::{AccessStats, BankGeometry};
 
@@ -172,24 +172,19 @@ impl FunctionalDaism {
         FpScalar::from_f32(w, self.config.format)
     }
 
-    /// Reference output computed with the software pipeline (same
-    /// approximate multiplier, same accumulation order).
+    /// Reference output computed with the software pipeline: the same
+    /// approximate multiplier run through the shared batched GEMM engine
+    /// (`daism_core::gemm`) on `weights · inputs`.
+    ///
+    /// The datapath's segment-ordered accumulation visits each output's
+    /// contributions in ascending-`k` order — exactly the engine's
+    /// per-element order — so [`execute`](Self::execute) must match this
+    /// bit-for-bit. Functional simulation and the DNN experiments
+    /// thereby validate one GEMM kernel, not two divergent loops.
     pub fn reference(&self, inputs: &[f32]) -> Vec<f32> {
         let (m, k, n) = (self.gemm.m, self.gemm.k, self.gemm.n);
         let mut out = vec![0f32; m * n];
-        for p in 0..n {
-            for s in 0..self.segment_homes.len() {
-                let slots = self.config.slots_per_bank();
-                let segments_per_column = m.div_ceil(slots);
-                let col_k = s / segments_per_column;
-                let m_base = (s % segments_per_column) * slots;
-                let x = inputs[col_k * n + p];
-                for slot in 0..slots.min(m - m_base) {
-                    let w = self.weights_f32[(m_base + slot) * k + col_k];
-                    out[(m_base + slot) * n + p] += self.mul.mul(w, x);
-                }
-            }
-        }
+        daism_core::gemm(&self.mul, &self.weights_f32, inputs, &mut out, m, k, n);
         out
     }
 }
@@ -252,8 +247,7 @@ mod tests {
         let weights = test_weights(10, 6);
         let inputs: Vec<f32> = (1..=6 * 9).map(|i| i as f32 / 10.0).collect(); // no zeros
         let mut hw =
-            FunctionalDaism::new(small_config(MultiplierConfig::PC3_TR), gemm, &weights)
-                .unwrap();
+            FunctionalDaism::new(small_config(MultiplierConfig::PC3_TR), gemm, &weights).unwrap();
         let _ = hw.execute(&inputs).unwrap();
         // Every segment fires once per output position.
         let expected = hw.mapping().segments as u64 * gemm.n as u64;

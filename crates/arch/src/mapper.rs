@@ -142,10 +142,7 @@ mod tests {
         let cfg = DaismConfig::paper_16x8kb();
         // 16x8kB holds 8192 elements; ask for more.
         let gemm = GemmShape::new(64, 200, 10).unwrap(); // 12800 elements
-        assert!(matches!(
-            map_gemm(&cfg, &gemm),
-            Err(ArchError::KernelCapacityExceeded { .. })
-        ));
+        assert!(matches!(map_gemm(&cfg, &gemm), Err(ArchError::KernelCapacityExceeded { .. })));
     }
 
     #[test]

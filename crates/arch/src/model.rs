@@ -172,14 +172,9 @@ mod tests {
     #[test]
     fn table2_daism_rows_reproduce_paper_shape() {
         let gemm = vgg8_layers()[0].gemm();
-        let row8 = DaismModel::new(DaismConfig::paper_16x8kb())
-            .unwrap()
-            .table2_row(&gemm)
-            .unwrap();
-        let row32 = DaismModel::new(DaismConfig::paper_16x32kb())
-            .unwrap()
-            .table2_row(&gemm)
-            .unwrap();
+        let row8 = DaismModel::new(DaismConfig::paper_16x8kb()).unwrap().table2_row(&gemm).unwrap();
+        let row32 =
+            DaismModel::new(DaismConfig::paper_16x32kb()).unwrap().table2_row(&gemm).unwrap();
         // Paper: 205.68 and 237.55 GOPS/mm².
         assert!((row8.gops_per_mm2 - 205.68).abs() / 205.68 < 0.15, "{}", row8.gops_per_mm2);
         assert!((row32.gops_per_mm2 - 237.55).abs() / 237.55 < 0.15, "{}", row32.gops_per_mm2);
@@ -192,10 +187,7 @@ mod tests {
         // Table II headline: "up to two orders of magnitude higher area
         // efficiency" vs Z-PIM / T-PIM (GE-normalised).
         let gemm = vgg8_layers()[0].gemm();
-        let row = DaismModel::new(DaismConfig::paper_16x32kb())
-            .unwrap()
-            .table2_row(&gemm)
-            .unwrap();
+        let row = DaismModel::new(DaismConfig::paper_16x32kb()).unwrap().table2_row(&gemm).unwrap();
         let ge_eff = row.gops / row.ge_area_mm2;
         let zpim = pim_refs::zpim();
         let zpim_ge_eff = zpim.gops.1 / zpim.ge_area_mm2().0;
@@ -238,10 +230,7 @@ mod tests {
     #[test]
     fn table2_row_display_is_aligned() {
         let gemm = vgg8_layers()[0].gemm();
-        let row = DaismModel::new(DaismConfig::paper_16x8kb())
-            .unwrap()
-            .table2_row(&gemm)
-            .unwrap();
+        let row = DaismModel::new(DaismConfig::paper_16x8kb()).unwrap().table2_row(&gemm).unwrap();
         assert!(row.to_string().contains("16x8kB"));
     }
 }

@@ -61,11 +61,7 @@ pub fn simulate_gemm(config: &DaismConfig, gemm: &GemmShape) -> Result<PerfRepor
 
 /// Performance roll-up given an existing mapping (shared by the model
 /// and by ablations that tweak mappings directly).
-pub fn perf_from_mapping(
-    config: &DaismConfig,
-    gemm: &GemmShape,
-    mapping: &Mapping,
-) -> PerfReport {
+pub fn perf_from_mapping(config: &DaismConfig, gemm: &GemmShape, mapping: &Mapping) -> PerfReport {
     let n = gemm.n as u64;
     let s = mapping.segments as u64;
     let b = config.banks as u64;
@@ -139,10 +135,9 @@ mod tests {
     fn single_bank_is_much_slower() {
         // Fig. 7's left-most point: the 1x512kB design wastes half its
         // slots (M=64 vs 128) and has no bank parallelism.
-        let single = simulate_gemm(&DaismConfig::paper_1x512kb(), &vgg8_layers()[0].gemm())
-            .unwrap();
-        let banked = simulate_gemm(&DaismConfig::paper_16x8kb(), &vgg8_layers()[0].gemm())
-            .unwrap();
+        let single =
+            simulate_gemm(&DaismConfig::paper_1x512kb(), &vgg8_layers()[0].gemm()).unwrap();
+        let banked = simulate_gemm(&DaismConfig::paper_16x8kb(), &vgg8_layers()[0].gemm()).unwrap();
         assert!(single.compute_cycles > 3 * banked.compute_cycles);
         assert!(single.utilization < 0.6);
     }
@@ -157,10 +152,8 @@ mod tests {
         ];
         for gemm in shapes {
             let balanced = simulate_gemm(&DaismConfig::paper_16x8kb(), &gemm).unwrap();
-            let cfg_static = DaismConfig {
-                mapper: MapperKind::Static,
-                ..DaismConfig::paper_16x8kb()
-            };
+            let cfg_static =
+                DaismConfig { mapper: MapperKind::Static, ..DaismConfig::paper_16x8kb() };
             let st = simulate_gemm(&cfg_static, &gemm).unwrap();
             assert!(st.compute_cycles >= balanced.compute_cycles, "{gemm}");
         }

@@ -49,10 +49,8 @@ pub fn simulate_tiled(config: &DaismConfig, gemm: &GemmShape) -> Result<TiledRun
     let mut total_preload = 0u64;
     let mut total_macs = 0u64;
     let mut total_pj = 0.0f64;
-    let mut breakdown = daism_energy::EnergyBreakdown::new(format!(
-        "{gemm} tiled on {}",
-        config.short_name()
-    ));
+    let mut breakdown =
+        daism_energy::EnergyBreakdown::new(format!("{gemm} tiled on {}", config.short_name()));
     let mut k_done = 0usize;
     while k_done < gemm.k {
         let k_tile = columns_per_tile.min(gemm.k - k_done);
@@ -153,8 +151,10 @@ mod tests {
         // conv2 has ~21x the MACs of conv1; energy should scale roughly
         // with MACs, not with tiles.
         let ratio = l2.energy.total_pj / l1.energy.total_pj;
-        let mac_ratio =
-            vgg8_layers()[1].macs() as f64 / vgg8_layers()[0].macs() as f64;
-        assert!((ratio / mac_ratio - 1.0).abs() < 0.35, "energy ratio {ratio} vs mac ratio {mac_ratio}");
+        let mac_ratio = vgg8_layers()[1].macs() as f64 / vgg8_layers()[0].macs() as f64;
+        assert!(
+            (ratio / mac_ratio - 1.0).abs() < 0.35,
+            "energy ratio {ratio} vs mac ratio {mac_ratio}"
+        );
     }
 }

@@ -6,16 +6,9 @@ use daism_num::FpFormat;
 use proptest::prelude::*;
 
 fn small_config() -> impl Strategy<Value = DaismConfig> {
-    (1usize..=8, prop::sample::select(vec![2usize, 8, 32]))
-        .prop_map(|(banks, kb)| {
-            DaismConfig::new(
-                banks,
-                kb * 1024,
-                FpFormat::BF16,
-                MultiplierConfig::PC3_TR,
-                1000.0,
-            )
-        })
+    (1usize..=8, prop::sample::select(vec![2usize, 8, 32])).prop_map(|(banks, kb)| {
+        DaismConfig::new(banks, kb * 1024, FpFormat::BF16, MultiplierConfig::PC3_TR, 1000.0)
+    })
 }
 
 fn small_gemm() -> impl Strategy<Value = GemmShape> {

@@ -1,16 +1,27 @@
-//! GEMM throughput under the different scalar-multiplier backends — the
-//! cost of simulating approximate arithmetic in the DNN experiments.
+//! GEMM throughput: backend comparison at 32³ (the cost of simulating
+//! approximate arithmetic), plus the engine trajectory — scalar
+//! reference vs serial tiled vs tiled+parallel — at 64³ and 256³ for the
+//! exact and PC3_tr backends. The ≥4× engine-vs-reference target for
+//! 256³ PC3 on a multi-core runner is tracked here.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use daism_core::{ApproxFpMul, ExactMul, MultiplierConfig, QuantizedExactMul, ScalarMul};
+use daism_core::{
+    gemm_reference, gemm_tiled_serial, ApproxFpMul, ExactMul, MultiplierConfig, QuantizedExactMul,
+    ScalarMul,
+};
 use daism_dnn::gemm;
 use daism_num::FpFormat;
+
+fn test_operands(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..m * k).map(|i| (i as f32 % 7.0) - 3.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i as f32 % 5.0) - 2.0).collect();
+    (a, b)
+}
 
 fn gemm_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_32x32x32");
     let (m, k, n) = (32usize, 32, 32);
-    let a: Vec<f32> = (0..m * k).map(|i| (i as f32 % 7.0) - 3.0).collect();
-    let b: Vec<f32> = (0..k * n).map(|i| (i as f32 % 5.0) - 2.0).collect();
+    let (a, b) = test_operands(m, k, n);
     let backends: Vec<(&str, Box<dyn ScalarMul>)> = vec![
         ("exact_f32", Box::new(ExactMul)),
         ("bf16_exact", Box::new(QuantizedExactMul::new(FpFormat::BF16))),
@@ -29,5 +40,103 @@ fn gemm_backends(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, gemm_backends);
+/// The seed's scalar GEMM loop, verbatim: one virtual `mul` call per
+/// element, no batching, no tiling, no threads. Kept here (only) as the
+/// perf baseline the engine's ≥4× target is counted from.
+fn seed_scalar_gemm(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        for l in 0..k {
+            let av = a[i * k + l];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[l * n..(l + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                if *bv != 0.0 {
+                    *cv += mul.mul(av, *bv);
+                }
+            }
+        }
+    }
+}
+
+/// seed loop vs reference vs serial-tiled vs tiled+parallel, per backend
+/// and size — the speedup trajectory of the engine refactor.
+fn gemm_engine_trajectory(c: &mut Criterion) {
+    let backends: Vec<(&str, Box<dyn ScalarMul>)> = vec![
+        ("exact_f32", Box::new(ExactMul)),
+        ("bf16_pc3_tr", Box::new(ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16))),
+    ];
+    for size in [64usize, 256] {
+        let (m, k, n) = (size, size, size);
+        let (a, b) = test_operands(m, k, n);
+        let mut group = c.benchmark_group(format!("gemm_{size}x{size}x{size}"));
+        for (name, backend) in &backends {
+            group.bench_function(format!("{name}/seed_scalar"), |bench| {
+                bench.iter(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    seed_scalar_gemm(
+                        backend.as_ref(),
+                        black_box(&a),
+                        black_box(&b),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                    );
+                    black_box(out)
+                })
+            });
+            group.bench_function(format!("{name}/reference"), |bench| {
+                bench.iter(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_reference(
+                        backend.as_ref(),
+                        black_box(&a),
+                        black_box(&b),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                    );
+                    black_box(out)
+                })
+            });
+            group.bench_function(format!("{name}/tiled"), |bench| {
+                bench.iter(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_tiled_serial(
+                        backend.as_ref(),
+                        black_box(&a),
+                        black_box(&b),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                    );
+                    black_box(out)
+                })
+            });
+            group.bench_function(format!("{name}/tiled_parallel"), |bench| {
+                bench.iter(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm(backend.as_ref(), black_box(&a), black_box(&b), &mut out, m, k, n);
+                    black_box(out)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, gemm_backends, gemm_engine_trajectory);
 criterion_main!(benches);

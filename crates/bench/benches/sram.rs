@@ -13,8 +13,7 @@ fn group_or_read(c: &mut Criterion) {
         let mut bank = SramBank::new(geom, layout).unwrap();
         for slot in 0..bank.slots() {
             for line in 0..8 {
-                bank.write_line(0, line, slot, ((slot * 131 + line * 7) & 0xFFFF) as u64)
-                    .unwrap();
+                bank.write_line(0, line, slot, ((slot * 131 + line * 7) & 0xFFFF) as u64).unwrap();
             }
         }
         group.bench_function(format!("{kb}kB"), |b| {
@@ -26,8 +25,7 @@ fn group_or_read(c: &mut Criterion) {
 
 fn sram_backed_multiply(c: &mut Criterion) {
     let geom = BankGeometry::square_from_bytes(8 * 1024).unwrap();
-    let mut m =
-        SramMultiplier::new(MultiplierConfig::PC3_TR, OperandMode::Fp, 8, geom).unwrap();
+    let mut m = SramMultiplier::new(MultiplierConfig::PC3_TR, OperandMode::Fp, 8, geom).unwrap();
     let elems: Vec<u64> = (0..m.capacity().min(64)).map(|i| 0x80 | (i as u64 & 0x7F)).collect();
     m.program_all(&elems).unwrap();
     c.bench_function("sram_backed_multiply_group", |b| {

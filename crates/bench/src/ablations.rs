@@ -37,8 +37,7 @@ pub fn run() -> Result<Ablations, ArchError> {
 
     // 1. Mapper: balanced vs static on an unbalanced shape.
     let balanced = DaismModel::new(DaismConfig::paper_16x8kb())?.perf(&gemm)?;
-    let static_cfg =
-        DaismConfig { mapper: MapperKind::Static, ..DaismConfig::paper_16x8kb() };
+    let static_cfg = DaismConfig { mapper: MapperKind::Static, ..DaismConfig::paper_16x8kb() };
     let static_perf = DaismModel::new(static_cfg)?.perf(&gemm)?;
     comparisons.push(Comparison {
         name: "mapper policy (cycles)".into(),
@@ -65,11 +64,7 @@ pub fn run() -> Result<Ablations, ArchError> {
         (MultiplierConfig::PC2_TR, 7, 16),
         (MultiplierConfig::FLA, 8, 16),
     ] {
-        let cfg = DaismConfig {
-            mult,
-            ..DaismConfig::paper_16x8kb()
-        }
-        .with_geometry(lines, width);
+        let cfg = DaismConfig { mult, ..DaismConfig::paper_16x8kb() }.with_geometry(lines, width);
         let e = DaismModel::new(cfg)?.energy(&gemm)?;
         comparisons.push(Comparison {
             name: format!("multiplier config {mult}"),
@@ -93,8 +88,7 @@ pub fn run() -> Result<Ablations, ArchError> {
 
     // 5. DVFS: the same 200 MHz point with voltage scaled to the clock
     //    (the regime Z-PIM/T-PIM actually operate in).
-    let dvfs_cfg =
-        DaismConfig { clock_mhz: 200.0, dvfs: true, ..DaismConfig::paper_16x8kb() };
+    let dvfs_cfg = DaismConfig { clock_mhz: 200.0, dvfs: true, ..DaismConfig::paper_16x8kb() };
     let dvfs = DaismModel::new(dvfs_cfg)?.energy(&gemm)?;
     comparisons.push(Comparison {
         name: "200 MHz supply (GOPS/mW)".into(),

@@ -2,10 +2,7 @@
 //! `--quick` for the reduced-scale run.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick {
-        daism_bench::fig4::Scale::Quick
-    } else {
-        daism_bench::fig4::Scale::Full
-    };
+    let scale =
+        if quick { daism_bench::fig4::Scale::Quick } else { daism_bench::fig4::Scale::Full };
     print!("{}", daism_bench::fig4::run(scale));
 }

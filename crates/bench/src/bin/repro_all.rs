@@ -5,11 +5,7 @@ fn main() {
     println!("{}", daism_bench::table1::run());
     println!("{}", daism_bench::table2::run().expect("table2"));
     println!("{}", daism_bench::table3::run());
-    let scale = if full {
-        daism_bench::fig4::Scale::Full
-    } else {
-        daism_bench::fig4::Scale::Quick
-    };
+    let scale = if full { daism_bench::fig4::Scale::Full } else { daism_bench::fig4::Scale::Quick };
     println!("{}", daism_bench::fig4::run(scale));
     println!("{}", daism_bench::fig5::run());
     println!("{}", daism_bench::fig6::run());
@@ -18,12 +14,6 @@ fn main() {
     println!("{}", daism_bench::error_tables::run(50_000));
     println!("{}", daism_bench::ablations::run().expect("ablations"));
     println!("{}", daism_bench::vgg8_e2e::run().expect("vgg8_e2e"));
-    println!(
-        "{}",
-        daism_bench::fault_study::run(daism_core::MultiplierConfig::PC3, 1024, 0xFA17)
-    );
-    println!(
-        "{}",
-        daism_bench::format_sweep::run(daism_core::MultiplierConfig::PC3, 50_000)
-    );
+    println!("{}", daism_bench::fault_study::run(daism_core::MultiplierConfig::PC3, 1024, 0xFA17));
+    println!("{}", daism_bench::format_sweep::run(daism_core::MultiplierConfig::PC3, 50_000));
 }

@@ -54,10 +54,9 @@ pub fn run(config: MultiplierConfig, max_faults: usize, seed: u64) -> FaultStudy
     let mut points = Vec::new();
     let mut faults = 4usize;
     while faults <= max_faults {
-        let mut hw = SramMultiplier::new(config, OperandMode::Fp, n, geom)
-            .expect("bank fits config");
-        let elements: Vec<u64> =
-            (0..hw.capacity()).map(|_| 0x80 | (next() & 0x7F)).collect();
+        let mut hw =
+            SramMultiplier::new(config, OperandMode::Fp, n, geom).expect("bank fits config");
+        let elements: Vec<u64> = (0..hw.capacity()).map(|_| 0x80 | (next() & 0x7F)).collect();
         let homes = hw.program_all(&elements).expect("capacity checked");
         let lines = hw.layout().len();
         for _ in 0..faults {

@@ -52,10 +52,8 @@ impl Fig4 {
 }
 
 fn backends() -> Vec<Box<dyn ScalarMul>> {
-    let mut v: Vec<Box<dyn ScalarMul>> = vec![
-        Box::new(ExactMul),
-        Box::new(QuantizedExactMul::new(FpFormat::BF16)),
-    ];
+    let mut v: Vec<Box<dyn ScalarMul>> =
+        vec![Box::new(ExactMul), Box::new(QuantizedExactMul::new(FpFormat::BF16))];
     for config in MultiplierConfig::ALL {
         v.push(Box::new(ApproxFpMul::new(config, FpFormat::BF16)));
     }
@@ -74,11 +72,7 @@ fn evaluate_model(
     train::fit(model, data, &ExactMul, params);
     for backend in backends() {
         let acc = train::accuracy(model, &data.test_x, &data.test_y, backend.as_ref());
-        entries.push(Entry {
-            model: name.to_string(),
-            backend: backend.name(),
-            accuracy: acc,
-        });
+        entries.push(Entry { model: name.to_string(), backend: backend.name(), accuracy: acc });
     }
 }
 
@@ -87,16 +81,14 @@ pub fn run(scale: Scale) -> Fig4 {
     // The full run uses harder (noisier) tasks so baselines land in the
     // 85-98% band instead of saturating — otherwise the approximate-vs-
     // exact comparison is vacuous.
-    let (blob_train, blob_test, img_train, img_test, epochs, blob_spread, img_noise) =
-        match scale {
-            Scale::Quick => (200, 80, 120, 60, 4, 0.7, 0.25),
-            Scale::Full => (1200, 400, 600, 240, 12, 1.3, 0.65),
-        };
+    let (blob_train, blob_test, img_train, img_test, epochs, blob_spread, img_noise) = match scale {
+        Scale::Quick => (200, 80, 120, 60, 4, 0.7, 0.25),
+        Scale::Full => (1200, 400, 600, 240, 12, 1.3, 0.65),
+    };
     let params = train::TrainParams { epochs, ..Default::default() };
     let mut entries = Vec::new();
 
-    let blobs =
-        datasets::gaussian_blobs_spread(4, 16, blob_train, blob_test, 1001, blob_spread);
+    let blobs = datasets::gaussian_blobs_spread(4, 16, blob_train, blob_test, 1001, blob_spread);
     let mut mlp = models::mlp(16, 24, 4, 2);
     evaluate_model("MLP(blobs)", &mut mlp, &blobs, &params, &mut entries);
 
@@ -112,20 +104,13 @@ pub fn run(scale: Scale) -> Fig4 {
 
     Fig4 {
         entries,
-        models: vec![
-            "MLP(blobs)".into(),
-            "MiniVGG(shapes)".into(),
-            "TinyResNet(shapes)".into(),
-        ],
+        models: vec!["MLP(blobs)".into(), "MiniVGG(shapes)".into(), "TinyResNet(shapes)".into()],
     }
 }
 
 impl fmt::Display for Fig4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Fig. 4: accuracy under approximate bfloat16 multipliers vs float32 baseline"
-        )?;
+        writeln!(f, "Fig. 4: accuracy under approximate bfloat16 multipliers vs float32 baseline")?;
         writeln!(f, "{:<20} {:<20} {:>9}", "model", "backend", "accuracy")?;
         for e in &self.entries {
             writeln!(f, "{:<20} {:<20} {:>8.1}%", e.model, e.backend, 100.0 * e.accuracy)?;

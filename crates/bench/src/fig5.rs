@@ -81,8 +81,7 @@ pub fn cell(config: MultiplierConfig, format: FpFormat, bank_kb: usize) -> Cell 
 
     let width = config.stored_width(n) as usize;
     let slots = (side / width).max(1) as f64;
-    let read =
-        macro_model.read_energy_pj(layout.expected_active_lines().round() as usize, side);
+    let read = macro_model.read_energy_pj(layout.expected_active_lines().round() as usize, side);
     let memory_read_pj = read / slots;
     let decoder_pj = components::daism_decoder_energy_pj() / slots;
     let rf_pj = components::rf_read_pj(format.total_bits()) / slots;
@@ -208,11 +207,8 @@ mod tests {
         let f = run();
         for format in ["bfloat16", "float32"] {
             for config in ["FLA", "PC2", "PC3", "PC2_tr", "PC3_tr"] {
-                let by_bank: Vec<&Cell> = f
-                    .cells
-                    .iter()
-                    .filter(|c| c.dtype == format && c.config == config)
-                    .collect();
+                let by_bank: Vec<&Cell> =
+                    f.cells.iter().filter(|c| c.dtype == format && c.config == config).collect();
                 assert_eq!(by_bank.len(), 2);
                 let ratio = by_bank[0].total_pj() / by_bank[1].total_pj();
                 assert!((0.75..1.33).contains(&ratio), "{format}/{config}: {ratio}");

@@ -39,12 +39,7 @@ pub fn run() -> Fig6 {
             let cell = fig5::cell(MultiplierConfig::PC3_TR, format, bank_kb);
             let improvement = (base.total_pj() + exp_pj) / (cell.total_pj() + exp_pj);
             let improvement_no_exp = base.total_pj() / cell.total_pj();
-            bars.push(Bar {
-                dtype: format.to_string(),
-                bank_kb,
-                improvement,
-                improvement_no_exp,
-            });
+            bars.push(Bar { dtype: format.to_string(), bank_kb, improvement, improvement_no_exp });
         }
     }
     Fig6 { bars }
@@ -56,7 +51,11 @@ impl fmt::Display for Fig6 {
             f,
             "Fig. 6: Relative energy improvement of PC3_tr vs baseline (incl. exponent handling)"
         )?;
-        writeln!(f, "{:<10} {:>7} {:>14} {:>18}", "dtype", "bank", "improvement", "(w/o exponent)")?;
+        writeln!(
+            f,
+            "{:<10} {:>7} {:>14} {:>18}",
+            "dtype", "bank", "improvement", "(w/o exponent)"
+        )?;
         for b in &self.bars {
             writeln!(
                 f,
@@ -108,12 +107,8 @@ mod tests {
     #[test]
     fn improvement_stable_across_bank_sizes() {
         let f = run();
-        let bf16: Vec<f64> = f
-            .bars
-            .iter()
-            .filter(|b| b.dtype == "bfloat16")
-            .map(|b| b.improvement)
-            .collect();
+        let bf16: Vec<f64> =
+            f.bars.iter().filter(|b| b.dtype == "bfloat16").map(|b| b.improvement).collect();
         let max = bf16.iter().cloned().fold(0.0f64, f64::max);
         let min = bf16.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max / min < 1.5, "spread {min}..{max}");

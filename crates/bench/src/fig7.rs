@@ -111,7 +111,8 @@ mod tests {
     fn single_bank_is_slowest_daism() {
         let f = run().unwrap();
         let single = f.find("1x512kB").unwrap();
-        for p in f.points.iter().filter(|p| p.label.starts_with("DAISM") && p.label != single.label) {
+        for p in f.points.iter().filter(|p| p.label.starts_with("DAISM") && p.label != single.label)
+        {
             assert!(single.cycles >= p.cycles, "{} faster than banked {}", single.label, p.label);
         }
     }

@@ -54,9 +54,7 @@ pub fn run() -> Fig8 {
         .collect();
     let count_sweep = [(1usize, 512usize), (4, 128), (16, 32), (64, 8)]
         .iter()
-        .map(|&(banks, kb)| {
-            point(&DaismConfig { banks, bank_bytes: kb * 1024, ..base.clone() })
-        })
+        .map(|&(banks, kb)| point(&DaismConfig { banks, bank_bytes: kb * 1024, ..base.clone() }))
         .collect();
     Fig8 { size_sweep, count_sweep }
 }

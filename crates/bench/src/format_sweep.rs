@@ -50,11 +50,7 @@ pub fn run(config: MultiplierConfig, mc_samples: u64) -> FormatSweep {
         .iter()
         .map(|&n| {
             let m = MantissaMultiplier::new(config, OperandMode::Fp, n);
-            let stats = if n <= 12 {
-                exhaustive(&m)
-            } else {
-                monte_carlo(&m, mc_samples, 0x5EED)
-            };
+            let stats = if n <= 12 { exhaustive(&m) } else { monte_carlo(&m, mc_samples, 0x5EED) };
             let layout = LineLayout::new(config, OperandMode::Fp, n);
             WidthPoint {
                 n,

@@ -37,16 +37,8 @@ impl Table2 {
     /// row divided by the best comparator — the paper's "two orders of
     /// magnitude" headline.
     pub fn ge_density_advantage(&self) -> f64 {
-        let daism_best = self
-            .daism
-            .iter()
-            .map(|r| r.gops / r.ge_area_mm2)
-            .fold(0.0f64, f64::max);
-        let pim_best = self
-            .pim
-            .iter()
-            .map(|p| p.gops.1 / p.ge_area_mm2().0)
-            .fold(0.0f64, f64::max);
+        let daism_best = self.daism.iter().map(|r| r.gops / r.ge_area_mm2).fold(0.0f64, f64::max);
+        let pim_best = self.pim.iter().map(|p| p.gops.1 / p.ge_area_mm2().0).fold(0.0f64, f64::max);
         daism_best / pim_best
     }
 }
@@ -56,8 +48,8 @@ impl fmt::Display for Table2 {
         writeln!(f, "Table II: Performances comparison between different PIM architectures")?;
         writeln!(
             f,
-            "{:<10} {:>7} {:>8} {:>7} {:>9} {:>9} {:>10}  {}",
-            "Config", "Area", "GE-Area", "Clock", "GOPS", "GOPS/mW", "GOPS/mm2", "notes"
+            "{:<10} {:>7} {:>8} {:>7} {:>9} {:>9} {:>10}  notes",
+            "Config", "Area", "GE-Area", "Clock", "GOPS", "GOPS/mW", "GOPS/mm2"
         )?;
         for r in &self.daism {
             writeln!(

@@ -79,10 +79,8 @@ pub fn run() -> Result<Vgg8E2e, ArchError> {
         });
     }
     let eyeriss = EyerissModel::default();
-    let eyeriss_cycles = layers
-        .iter()
-        .map(|l| eyeriss.conv_cycles(l).map(|p| p.cycles))
-        .sum::<Result<u64, _>>()?;
+    let eyeriss_cycles =
+        layers.iter().map(|l| eyeriss.conv_cycles(l).map(|p| p.cycles)).sum::<Result<u64, _>>()?;
     Ok(Vgg8E2e { runs, eyeriss_cycles })
 }
 
@@ -113,11 +111,7 @@ impl fmt::Display for Vgg8E2e {
                 run.total_cycles, run.latency_ms, run.total_energy_uj
             )?;
         }
-        writeln!(
-            f,
-            "\nEyeriss reference: {} cycles over the same layers",
-            self.eyeriss_cycles
-        )
+        writeln!(f, "\nEyeriss reference: {} cycles over the same layers", self.eyeriss_cycles)
     }
 }
 

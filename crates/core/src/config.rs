@@ -87,16 +87,21 @@ pub struct MultiplierConfig {
 
 impl MultiplierConfig {
     /// Full lines activation, untruncated.
-    pub const FLA: MultiplierConfig = MultiplierConfig { kind: MultiplierKind::Fla, truncate: false };
+    pub const FLA: MultiplierConfig =
+        MultiplierConfig { kind: MultiplierKind::Fla, truncate: false };
     /// PC2, untruncated.
-    pub const PC2: MultiplierConfig = MultiplierConfig { kind: MultiplierKind::Pc2, truncate: false };
+    pub const PC2: MultiplierConfig =
+        MultiplierConfig { kind: MultiplierKind::Pc2, truncate: false };
     /// PC3, untruncated.
-    pub const PC3: MultiplierConfig = MultiplierConfig { kind: MultiplierKind::Pc3, truncate: false };
+    pub const PC3: MultiplierConfig =
+        MultiplierConfig { kind: MultiplierKind::Pc3, truncate: false };
     /// PC2, truncated to the top `n` columns.
-    pub const PC2_TR: MultiplierConfig = MultiplierConfig { kind: MultiplierKind::Pc2, truncate: true };
+    pub const PC2_TR: MultiplierConfig =
+        MultiplierConfig { kind: MultiplierKind::Pc2, truncate: true };
     /// PC3, truncated to the top `n` columns — the paper's preferred
     /// configuration.
-    pub const PC3_TR: MultiplierConfig = MultiplierConfig { kind: MultiplierKind::Pc3, truncate: true };
+    pub const PC3_TR: MultiplierConfig =
+        MultiplierConfig { kind: MultiplierKind::Pc3, truncate: true };
 
     /// The five configurations of Table I, in the paper's order.
     pub const ALL: [MultiplierConfig; 5] = [

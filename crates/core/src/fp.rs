@@ -21,6 +21,37 @@ pub trait ScalarMul: fmt::Debug + Send + Sync {
     fn is_native_f32(&self) -> bool {
         false
     }
+
+    /// Batched row-times-panel FMA: `c[j] += mul(a, b[j])` for every `j`
+    /// with `b[j] != 0.0` — the accumulate step the GEMM engine issues
+    /// once per (A-element, B-row-panel) pair.
+    ///
+    /// Skipping exact-zero `b[j]` mirrors the hardware's zero bypass
+    /// (paper §III-C): a zero operand never activates the array, and
+    /// because a freshly zeroed `f32` accumulator is `+0.0`, skipping the
+    /// `±0.0` product leaves the same bits as adding it. `a == 0.0` is
+    /// gated by the caller for the same reason. Native-`f32` backends may
+    /// instead multiply zeros through (a branchless FMA loop) — identical
+    /// bits on non-negative-zero accumulators with finite `a`.
+    ///
+    /// The default forwards each element to [`mul`](Self::mul);
+    /// implementations override it to hoist per-`a` work (operand decode,
+    /// line-pattern derivation, quantization) out of the panel loop.
+    /// Overrides **must keep every accumulated product bit-identical to
+    /// [`mul`](Self::mul)** — the `mul_rows`-vs-`mul` equivalence tests
+    /// and the differential GEMM suite enforce this.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `b.len() != c.len()`.
+    fn mul_rows(&self, a: f32, b: &[f32], c: &mut [f32]) {
+        debug_assert_eq!(b.len(), c.len(), "panel length mismatch");
+        for (cv, bv) in c.iter_mut().zip(b) {
+            if *bv != 0.0 {
+                *cv += self.mul(a, *bv);
+            }
+        }
+    }
 }
 
 /// Exact native `f32` multiplication — the paper's float32 baseline.
@@ -38,6 +69,15 @@ impl ScalarMul for ExactMul {
 
     fn is_native_f32(&self) -> bool {
         true
+    }
+
+    fn mul_rows(&self, a: f32, b: &[f32], c: &mut [f32]) {
+        // Native multiply-accumulate: no zero test — `a * 0.0` adds
+        // `±0.0`, which cannot change a `+0.0`-initialised accumulator,
+        // and a branchless loop auto-vectorises.
+        for (cv, bv) in c.iter_mut().zip(b) {
+            *cv += a * bv;
+        }
     }
 }
 
@@ -72,6 +112,18 @@ impl ScalarMul for QuantizedExactMul {
     fn name(&self) -> String {
         format!("{}/exact", self.format)
     }
+
+    fn mul_rows(&self, a: f32, b: &[f32], c: &mut [f32]) {
+        // Quantize the reused operand once per panel; per-element math is
+        // unchanged, so results stay bit-identical to `mul`.
+        let xq = FpScalar::from_f32(a, self.format).to_f64();
+        for (cv, bv) in c.iter_mut().zip(b) {
+            if *bv != 0.0 {
+                let yq = FpScalar::from_f32(*bv, self.format).to_f64();
+                *cv += FpScalar::from_f32((xq * yq) as f32, self.format).to_f32();
+            }
+        }
+    }
 }
 
 /// The full DAISM floating-point multiply pipeline (paper §III-C, §IV-A):
@@ -101,6 +153,11 @@ impl ScalarMul for QuantizedExactMul {
 pub struct ApproxFpMul {
     format: FpFormat,
     mult: MantissaMultiplier,
+    /// `true` when every normal result of this format is directly
+    /// encodable in `f32` bits (mantissa ≤ 24 bits, exponent range
+    /// within `f32`'s) — lets the batched path skip the `FpScalar`
+    /// round-trip. Holds for all predefined formats.
+    fast_f32: bool,
 }
 
 impl ApproxFpMul {
@@ -108,7 +165,9 @@ impl ApproxFpMul {
     /// format.
     pub fn new(config: MultiplierConfig, format: FpFormat) -> Self {
         let mult = MantissaMultiplier::new(config, OperandMode::Fp, format.mantissa_width());
-        ApproxFpMul { format, mult }
+        let fast_f32 =
+            format.mantissa_width() <= 24 && format.max_exp() <= 127 && format.min_exp() >= -126;
+        ApproxFpMul { format, mult, fast_f32 }
     }
 
     /// The operand/result format.
@@ -216,6 +275,45 @@ impl ApproxFpMul {
         debug_assert!(bits::bit(man, n - 1), "normalised mantissa must have its leading one");
         FpScalar::from_parts(sign, exp, man, self.format)
     }
+
+    /// [`combine_raw`](Self::combine_raw) fused with the `f32` encode,
+    /// skipping the `FpScalar` round-trip (and its `powi`): same
+    /// normalisation, same saturation, same panic on a denormalised
+    /// read-out — **bit-identical** results, asserted by the
+    /// `mul_rows`-vs-`mul` equivalence tests. Only valid when
+    /// `self.fast_f32` (checked by the caller).
+    #[inline]
+    fn combine_raw_to_f32(&self, x: &FpScalar, y: &FpScalar, raw: u64) -> f32 {
+        let sign = x.sign() ^ y.sign();
+        if raw == 0 {
+            return if sign { -0.0 } else { 0.0 };
+        }
+        let n = self.format.mantissa_width();
+        let exp_sum = x.exponent() + y.exponent();
+        let (man, exp) = if self.mult.config().truncate {
+            if bits::bit(raw, n - 1) {
+                (raw, exp_sum + 1)
+            } else {
+                ((raw << 1) & bits::mask(n), exp_sum)
+            }
+        } else if bits::bit(raw, 2 * n - 1) {
+            (raw >> n, exp_sum + 1)
+        } else {
+            ((raw >> (n - 1)) & bits::mask(n), exp_sum)
+        };
+        // `from_parts` enforces this in the slow path; keep the same
+        // release-mode guarantee here.
+        assert!(bits::bit(man, n - 1), "normalised mantissa must have its leading one");
+        if exp > self.format.max_exp() {
+            return if sign { f32::NEG_INFINITY } else { f32::INFINITY };
+        }
+        if exp < self.format.min_exp() {
+            return if sign { -0.0 } else { 0.0 };
+        }
+        // value = 1.frac · 2^exp with ≤ 23 fraction bits: exact in f32.
+        let frac = ((man & bits::mask(n - 1)) as u32) << (24 - n);
+        f32::from_bits(((sign as u32) << 31) | (((exp + 127) as u32) << 23) | frac)
+    }
 }
 
 impl ScalarMul for ApproxFpMul {
@@ -227,6 +325,53 @@ impl ScalarMul for ApproxFpMul {
 
     fn name(&self) -> String {
         format!("{}/{}", self.format, self.mult.config())
+    }
+
+    fn mul_rows(&self, a: f32, b: &[f32], c: &mut [f32]) {
+        // Decode the reused operand and derive its line patterns (or
+        // table row) once per panel — this is the batched fast path the
+        // GEMM engine exists for. Every per-element step below matches
+        // `mul_scalars` exactly, keeping results bit-identical.
+        let xs = FpScalar::from_f32(a, self.format);
+        if xs.class() != FpClass::Normal {
+            // Zero / NaN / Inf multiplicand: rare, handled by the exact
+            // side logic — no mantissa work to hoist.
+            for (cv, bv) in c.iter_mut().zip(b) {
+                if *bv != 0.0 {
+                    *cv += self.mul_scalars(&xs, &FpScalar::from_f32(*bv, self.format)).to_f32();
+                }
+            }
+            return;
+        }
+        let prep = self.mult.prepare(xs.mantissa());
+        if self.fast_f32 {
+            for (cv, bv) in c.iter_mut().zip(b) {
+                if *bv == 0.0 {
+                    continue; // zero bypass (§III-C) — never touches the array
+                }
+                let ys = FpScalar::from_f32(*bv, self.format);
+                *cv += if ys.class() == FpClass::Normal {
+                    let raw = self.mult.multiply_prepared_trusted(&prep, ys.mantissa());
+                    self.combine_raw_to_f32(&xs, &ys, raw)
+                } else {
+                    self.mul_scalars(&xs, &ys).to_f32()
+                };
+            }
+            return;
+        }
+        for (cv, bv) in c.iter_mut().zip(b) {
+            if *bv == 0.0 {
+                continue; // zero bypass (§III-C) — never touches the array
+            }
+            let ys = FpScalar::from_f32(*bv, self.format);
+            let product = if ys.class() == FpClass::Normal {
+                let raw = self.mult.multiply_prepared(&prep, ys.mantissa());
+                self.combine_raw(&xs, &ys, raw)
+            } else {
+                self.mul_scalars(&xs, &ys)
+            };
+            *cv += product.to_f32();
+        }
     }
 }
 
@@ -368,10 +513,7 @@ mod tests {
     #[test]
     fn names_follow_convention() {
         assert_eq!(pc3tr_bf16().name(), "bfloat16/PC3_tr");
-        assert_eq!(
-            ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::FP32).name(),
-            "float32/FLA"
-        );
+        assert_eq!(ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::FP32).name(), "float32/FLA");
         assert_eq!(QuantizedExactMul::new(FpFormat::BF16).name(), "bfloat16/exact");
     }
 
@@ -394,6 +536,124 @@ mod tests {
         assert_eq!(m.mul(big, big), f32::INFINITY);
         let tiny = 1e-38f32;
         assert_eq!(m.mul(tiny, tiny), 0.0);
+    }
+
+    fn edge_values() -> Vec<f32> {
+        vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            1.5,
+            -2.75,
+            3.3e38,
+            -3.3e38,
+            1.2e-38,
+            -1.2e-38,
+            f32::MIN_POSITIVE / 2.0, // subnormal: flushed on decode
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            std::f32::consts::PI,
+            -0.1,
+        ]
+    }
+
+    /// `mul_rows` must be element-wise bit-identical to accumulating
+    /// `mul` products into a `+0.0` accumulator. Zero `b` elements may
+    /// either be skipped or natively multiplied (`is_native_f32`
+    /// backends do the latter); both leave the same bits behind.
+    fn assert_mul_rows_matches_mul(m: &dyn ScalarMul) {
+        let bs = edge_values();
+        for &a in &edge_values() {
+            let mut batched = vec![0.0f32; bs.len()];
+            m.mul_rows(a, &bs, &mut batched);
+            for (j, &bv) in bs.iter().enumerate() {
+                let term = if bv != 0.0 {
+                    m.mul(a, bv)
+                } else if m.is_native_f32() {
+                    a * bv // native kernels do not test for zero
+                } else {
+                    0.0 // zero bypass: no accumulation at all
+                };
+                let expect = 0.0f32 + term;
+                let got = batched[j];
+                assert!(
+                    got.to_bits() == expect.to_bits() || (got.is_nan() && expect.is_nan()),
+                    "{}: a={a}, b={bv}: batched {got} vs scalar {expect}",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_rows_matches_mul_for_every_backend() {
+        assert_mul_rows_matches_mul(&ExactMul);
+        assert_mul_rows_matches_mul(&QuantizedExactMul::new(FpFormat::BF16));
+        assert_mul_rows_matches_mul(&QuantizedExactMul::new(FpFormat::FP32));
+        for config in MultiplierConfig::ALL {
+            assert_mul_rows_matches_mul(&ApproxFpMul::new(config, FpFormat::BF16));
+            assert_mul_rows_matches_mul(&ApproxFpMul::new(config, FpFormat::FP32));
+            assert_mul_rows_matches_mul(&ApproxFpMul::new(config, FpFormat::FP16));
+        }
+    }
+
+    #[test]
+    fn mul_rows_dense_value_sweep_pc3_tr() {
+        // A dense magnitude sweep through the fused fast path: the
+        // bit-encode must agree with the FpScalar round-trip everywhere.
+        let m = pc3tr_bf16();
+        let mut bs = Vec::new();
+        let mut v = 1.07e-30f32;
+        while v < 1e30 {
+            bs.push(v);
+            bs.push(-v);
+            v *= 3.9;
+        }
+        for &a in &[0.37f32, -11.0, 1.0, 255.4, 1e-3, -9.9e20] {
+            let mut batched = vec![0.0f32; bs.len()];
+            m.mul_rows(a, &bs, &mut batched);
+            for (j, &bv) in bs.iter().enumerate() {
+                assert_eq!(batched[j].to_bits(), m.mul(a, bv).to_bits(), "a={a}, b={bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_mul_rows_equals_overrides() {
+        // A wrapper that erases the override, forcing the trait default.
+        #[derive(Debug)]
+        struct DefaultOnly<'a>(&'a dyn ScalarMul);
+        impl ScalarMul for DefaultOnly<'_> {
+            fn mul(&self, x: f32, y: f32) -> f32 {
+                self.0.mul(x, y)
+            }
+            fn name(&self) -> String {
+                format!("default({})", self.0.name())
+            }
+        }
+        let backends: Vec<Box<dyn ScalarMul>> = vec![
+            Box::new(QuantizedExactMul::new(FpFormat::BF16)),
+            Box::new(pc3tr_bf16()),
+            Box::new(ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::FP32)),
+        ];
+        let bs = edge_values();
+        for m in &backends {
+            for &a in &edge_values() {
+                let mut fast = vec![0.0f32; bs.len()];
+                let mut slow = vec![0.0f32; bs.len()];
+                m.mul_rows(a, &bs, &mut fast);
+                DefaultOnly(m.as_ref()).mul_rows(a, &bs, &mut slow);
+                for (f, s) in fast.iter().zip(&slow) {
+                    assert!(
+                        f.to_bits() == s.to_bits() || (f.is_nan() && s.is_nan()),
+                        "{}: a={a}: override {f} vs default {s}",
+                        m.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! The batched GEMM engine: one tiled, cache-blocked, multi-threaded
+//! kernel shared by the DNN layers (`daism-dnn`), the functional
+//! datapath reference (`daism-arch`) and the figure runners
+//! (`daism-bench`).
+//!
+//! # Design
+//!
+//! `C[m×n] += A[m×k] · B[k×n]` (row-major) with every scalar product
+//! routed through a [`ScalarMul`] backend and accumulation at `f32`.
+//! Three layers of structure:
+//!
+//! 1. **Batched backend calls** — the inner loop issues one
+//!    [`ScalarMul::mul_rows`] per (A-element, B-row-panel) pair instead
+//!    of a virtual call per scalar, letting backends hoist operand
+//!    decode and line-pattern derivation out of the panel loop (and the
+//!    [`MantissaMultiplier`](crate::MantissaMultiplier) serve products
+//!    from its memoized table).
+//! 2. **Cache blocking** — `KC`-deep × `NC`-wide blocks keep the active
+//!    B panel and C row segment resident while A elements stream.
+//! 3. **Row-panel parallelism** — `MC`-row panels of C are distributed
+//!    over threads (rayon); panels write disjoint C regions, so results
+//!    never depend on scheduling.
+//!
+//! # Bit-exactness
+//!
+//! [`gemm`] is a *speed* refactor, not a semantics change: for every
+//! output element the products are accumulated in ascending-`k` order,
+//! exactly as the scalar reference loop does, so results are
+//! **bit-identical** to [`gemm_reference`] for every backend (enforced
+//! by the differential property suite in `tests/gemm_differential.rs`).
+//!
+//! Zero operands are skipped rather than multiplied — mirroring the
+//! hardware's zero gating (paper §III-C), where a zero operand never
+//! activates the SRAM array. Skipping is bit-identical to accumulating
+//! the `±0.0` product because a `+0.0` accumulator absorbs signed
+//! zeros.
+
+use crate::ScalarMul;
+use rayon::prelude::*;
+
+/// Rows of C per parallel panel.
+const MC: usize = 32;
+/// Depth (k) block: B rows resident per pass.
+const KC: usize = 256;
+/// Column block: B row-segment / C row-segment width per pass.
+const NC: usize = 1024;
+/// Minimum MAC count before worker threads are engaged; below this the
+/// serial tiled kernel always wins.
+const PAR_MIN_MACS: usize = 1 << 16;
+
+fn check_shapes(a: &[f32], b: &[f32], c: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    assert_eq!(c.len(), m * n, "C has wrong length");
+}
+
+/// The scalar reference: `C += A·B` with one [`ScalarMul::mul_rows`] per
+/// (A-element, B-row) pair, rows processed in order, no tiling and no
+/// threads.
+///
+/// This is the semantic anchor the tiled engine is differentially tested
+/// against, and the baseline the criterion benches measure speedups
+/// from. Zero A-elements are skipped (hardware zero gating, §III-C);
+/// `mul_rows` applies the same gating to B.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape.
+pub fn gemm_reference(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_shapes(a, b, c, m, k, n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (l, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue; // zero bypass, as the hardware does
+            }
+            mul.mul_rows(av, &b[l * n..(l + 1) * n], crow);
+        }
+    }
+}
+
+/// `C[m×n] += A[m×k] · B[k×n]` (row-major) through the tiled,
+/// cache-blocked, parallel engine — bit-identical to
+/// [`gemm_reference`], much faster.
+///
+/// Small problems (under ~64k MACs) run the serial tiled kernel;
+/// larger ones are split into `MC`-row C panels processed across
+/// threads. Either way the per-element accumulation order is
+/// ascending-`k`, so the result does not depend on problem size or
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape.
+///
+/// # Examples
+///
+/// ```
+/// use daism_core::{gemm, ExactMul};
+///
+/// let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+/// let b = [5.0, 6.0, 7.0, 8.0]; // 2x2
+/// let mut c = [0.0f32; 4];
+/// gemm(&ExactMul, &a, &b, &mut c, 2, 2, 2);
+/// assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn gemm(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_shapes(a, b, c, m, k, n);
+    if m == 0 || n == 0 || k == 0 {
+        return; // nothing to accumulate
+    }
+    let macs = m.saturating_mul(k).saturating_mul(n);
+    if m > MC && macs >= PAR_MIN_MACS {
+        c.par_chunks_mut(MC * n).enumerate().for_each(|(panel, cpanel)| {
+            let i0 = panel * MC;
+            let rows = cpanel.len() / n;
+            panel_kernel(mul, &a[i0 * k..(i0 + rows) * k], b, cpanel, rows, k, n);
+        });
+    } else {
+        panel_kernel(mul, a, b, c, m, k, n);
+    }
+}
+
+/// The tiled kernel run serially on the full problem, regardless of
+/// size. Exposed for the criterion benches so the tiling win and the
+/// threading win can be tracked separately; prefer [`gemm`] everywhere
+/// else.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape.
+pub fn gemm_tiled_serial(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_shapes(a, b, c, m, k, n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    panel_kernel(mul, a, b, c, m, k, n);
+}
+
+/// `KC × NC`-blocked kernel over one panel of `rows` C rows.
+///
+/// Per output element, the `k` loop advances in ascending order across
+/// and within blocks — the bit-exactness invariant.
+fn panel_kernel(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    for j0 in (0..n).step_by(NC) {
+        let j1 = (j0 + NC).min(n);
+        for l0 in (0..k).step_by(KC) {
+            let l1 = (l0 + KC).min(k);
+            for r in 0..rows {
+                let arow = &a[r * k..(r + 1) * k];
+                let crow = &mut c[r * n + j0..r * n + j1];
+                for (l, &av) in arow.iter().enumerate().take(l1).skip(l0) {
+                    if av == 0.0 {
+                        continue; // zero bypass, as the hardware does
+                    }
+                    mul.mul_rows(av, &b[l * n + j0..l * n + j1], crow);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ApproxFpMul, ExactMul, MultiplierConfig, QuantizedExactMul};
+    use daism_num::FpFormat;
+
+    fn test_matrix(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(2654435761).wrapping_add(seed);
+                if h.is_multiple_of(9) {
+                    0.0 // exercise the zero-bypass path
+                } else {
+                    ((h % 2000) as f32 - 1000.0) / 250.0
+                }
+            })
+            .collect()
+    }
+
+    fn assert_bit_identical(mul: &dyn ScalarMul, m: usize, k: usize, n: usize) {
+        let a = test_matrix(m * k, 1);
+        let b = test_matrix(k * n, 2);
+        let mut reference = vec![0.0f32; m * n];
+        let mut tiled = vec![0.0f32; m * n];
+        gemm_reference(mul, &a, &b, &mut reference, m, k, n);
+        gemm(mul, &a, &b, &mut tiled, m, k, n);
+        for (i, (r, t)) in reference.iter().zip(&tiled).enumerate() {
+            assert_eq!(
+                r.to_bits(),
+                t.to_bits(),
+                "{}: {m}x{k}x{n} element {i}: {r} vs {t}",
+                mul.name()
+            );
+        }
+        let mut serial = vec![0.0f32; m * n];
+        gemm_tiled_serial(mul, &a, &b, &mut serial, m, k, n);
+        for (r, s) in reference.iter().zip(&serial) {
+            assert_eq!(r.to_bits(), s.to_bits(), "serial tiled diverged");
+        }
+    }
+
+    #[test]
+    fn tiled_matches_reference_small_and_parallel_sizes() {
+        let pc3 = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (33, 17, 9), (70, 40, 48)] {
+            assert_bit_identical(&ExactMul, m, k, n);
+            assert_bit_identical(&QuantizedExactMul::new(FpFormat::BF16), m, k, n);
+            assert_bit_identical(&pc3, m, k, n);
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_noops() {
+        let mut c = [7.0f32];
+        gemm(&ExactMul, &[], &[], &mut c, 1, 0, 1);
+        assert_eq!(c[0], 7.0);
+        let mut empty: [f32; 0] = [];
+        gemm(&ExactMul, &[], &[], &mut empty, 0, 2, 0);
+        gemm(&ExactMul, &[], &[], &mut empty, 0, 0, 0);
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let mut c = [10.0f32];
+        gemm(&ExactMul, &[2.0], &[3.0], &mut c, 1, 1, 1);
+        assert_eq!(c[0], 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn shape_mismatch_panics() {
+        let mut c = [0.0f32; 1];
+        gemm(&ExactMul, &[1.0, 2.0], &[1.0], &mut c, 1, 1, 1);
+    }
+
+    #[test]
+    fn blocking_crosses_kc_and_nc_boundaries() {
+        // Shapes straddling the KC/NC block edges must still accumulate
+        // in ascending-k order per element.
+        let mul = ApproxFpMul::new(MultiplierConfig::PC2_TR, FpFormat::BF16);
+        assert_bit_identical(&mul, 2, KC + 3, 5);
+        assert_bit_identical(&ExactMul, 2, 3, NC + 9);
+    }
+}

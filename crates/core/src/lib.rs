@@ -62,9 +62,10 @@
 #![warn(missing_docs)]
 
 mod config;
-pub mod error_analysis;
 mod error;
+pub mod error_analysis;
 mod fp;
+mod gemm;
 mod lines;
 mod mantissa;
 mod sram_backed;
@@ -72,6 +73,7 @@ mod sram_backed;
 pub use config::{MultiplierConfig, MultiplierKind, OperandMode};
 pub use error::CoreError;
 pub use fp::{ApproxFpMul, ExactMul, QuantizedExactMul, ScalarMul};
+pub use gemm::{gemm, gemm_reference, gemm_tiled_serial};
 pub use lines::{LineLayout, LineSpec};
-pub use mantissa::{exact_mul, MantissaMultiplier};
+pub use mantissa::{exact_mul, MantissaMultiplier, PreparedMultiplicand};
 pub use sram_backed::SramMultiplier;

@@ -63,10 +63,7 @@ impl LineSpec {
     /// (shift `n-1`), `B` the next, etc.; pre-computed lines concatenate
     /// (`AB`, `ABC`).
     pub fn letter_name(&self, n: u32) -> String {
-        self.shifts
-            .iter()
-            .map(|&s| char::from(b'A' + (n - 1 - s) as u8))
-            .collect()
+        self.shifts.iter().map(|&s| char::from(b'A' + (n - 1 - s) as u8)).collect()
     }
 }
 
@@ -466,7 +463,7 @@ mod tests {
         assert_eq!(l.decode(0b1100_0000), 1 << 1); // AB
         assert_eq!(l.decode(0b1010_0000), 1 << 2); // AC
         assert_eq!(l.decode(0b1110_0000), 1 << 3); // ABC
-        // ABC plus D (bit 4 = shift 4 -> line 4 + (4-4) = 4).
+                                                   // ABC plus D (bit 4 = shift 4 -> line 4 + (4-4) = 4).
         assert_eq!(l.decode(0b1111_0000), (1 << 3) | (1 << 4));
         // A plus H (shift 0 -> line 4 + 4 = 8).
         assert_eq!(l.decode(0b1000_0001), (1 << 0) | (1 << 8));
@@ -497,11 +494,7 @@ mod tests {
     fn decode_zero_is_zero() {
         for kind in MultiplierKind::ALL {
             for mode in [OperandMode::Fp, OperandMode::Int] {
-                let l = LineLayout::new(
-                    MultiplierConfig { kind, truncate: false },
-                    mode,
-                    8,
-                );
+                let l = LineLayout::new(MultiplierConfig { kind, truncate: false }, mode, 8);
                 assert_eq!(l.decode(0), 0);
             }
         }

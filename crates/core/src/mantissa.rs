@@ -1,6 +1,63 @@
 use crate::config::{MultiplierConfig, OperandMode};
 use crate::lines::LineLayout;
 use daism_num::bits;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Widest mantissa for which the full product table is materialised
+/// (`2^(2n)` entries of `u16`; at 8 bits that is 128 KiB — `bfloat16`,
+/// the paper's preferred format, is covered).
+const LUT_MAX_WIDTH: u32 = 8;
+
+/// Process-wide memo of product tables, keyed by everything that
+/// determines the wired-OR semantics. Constructing the same multiplier
+/// twice (the benches and the DNN experiments do, per layer and per
+/// figure) reuses one table instead of re-deriving the line patterns.
+type LutKey = (MultiplierConfig, OperandMode, u32);
+
+fn lut_cache() -> &'static Mutex<HashMap<LutKey, Arc<Vec<u16>>>> {
+    static CACHE: OnceLock<Mutex<HashMap<LutKey, Arc<Vec<u16>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn build_or_reuse_lut(layout: &LineLayout) -> Arc<Vec<u16>> {
+    let key = (layout.config(), layout.mode(), layout.mantissa_width());
+    let mut cache = lut_cache().lock().expect("LUT cache poisoned");
+    if let Some(table) = cache.get(&key) {
+        return Arc::clone(table);
+    }
+    let n = layout.mantissa_width();
+    let size = 1usize << (2 * n);
+    let mut table = vec![0u16; size];
+    for a in 0..(1u64 << n) {
+        // In fp mode only multipliers with their leading one (or zero)
+        // are decodable; other rows stay zero and are unreachable
+        // through `multiply` (its operand checks reject them).
+        for b in 0..(1u64 << n) {
+            if layout.mode() == OperandMode::Fp && b != 0 && !bits::bit(b, n - 1) {
+                continue;
+            }
+            table[((a << n) | b) as usize] = or_read(layout, a, b) as u16;
+        }
+    }
+    let table = Arc::new(table);
+    cache.insert(key, Arc::clone(&table));
+    table
+}
+
+/// The wired-OR read computed directly from the line layout: decode the
+/// multiplier into a wordline mask, OR the selected stored patterns.
+fn or_read(layout: &LineLayout, a: u64, b: u64) -> u64 {
+    let mask = layout.decode(b);
+    let mut acc = 0u64;
+    let mut m = mask;
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        acc |= layout.stored_pattern(i, a);
+        m &= m - 1;
+    }
+    acc
+}
 
 /// Exact product of two mantissas (reference for error analysis).
 ///
@@ -35,20 +92,40 @@ pub fn exact_mul(a: u64, b: u64) -> u64 {
 /// let approx = m.multiply(0b1011_0101, 0b1101_1011);
 /// assert!(approx <= 0b1011_0101u64 * 0b1101_1011);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct MantissaMultiplier {
     layout: LineLayout,
+    /// Memoized full product table (`lut[(a << n) | b] = multiply(a, b)`)
+    /// for narrow mantissas; shared process-wide per configuration.
+    lut: Option<Arc<Vec<u16>>>,
 }
+
+impl PartialEq for MantissaMultiplier {
+    fn eq(&self, other: &Self) -> bool {
+        // The LUT is a pure function of the layout; comparing it would be
+        // redundant (and it intentionally shares storage across clones).
+        self.layout == other.layout
+    }
+}
+
+impl Eq for MantissaMultiplier {}
 
 impl MantissaMultiplier {
     /// Creates the multiplier model for `config`/`mode` at mantissa width
     /// `n`.
     ///
+    /// For `n ≤ 8` the full wired-OR product table is precomputed at
+    /// construction (memoized process-wide per `config`/`mode`/`n`), so
+    /// [`multiply`](Self::multiply) in the GEMM hot loop is one table
+    /// read instead of an address decode plus a line-pattern OR chain.
+    ///
     /// # Panics
     ///
     /// Panics for unsupported widths (see [`LineLayout::new`]).
     pub fn new(config: MultiplierConfig, mode: OperandMode, n: u32) -> Self {
-        MantissaMultiplier { layout: LineLayout::new(config, mode, n) }
+        let layout = LineLayout::new(config, mode, n);
+        let lut = (n <= LUT_MAX_WIDTH).then(|| build_or_reuse_lut(&layout));
+        MantissaMultiplier { layout, lut }
     }
 
     /// The line layout backing this multiplier.
@@ -78,19 +155,112 @@ impl MantissaMultiplier {
     /// The approximate product: OR of the activated stored patterns.
     ///
     /// For truncated configurations the result approximates
-    /// `(a·b) >> n`; otherwise it approximates `a·b`.
+    /// `(a·b) >> n`; otherwise it approximates `a·b`. Served from the
+    /// memoized product table for narrow mantissas, bit-identical to
+    /// [`multiply_bitwise`](Self::multiply_bitwise) in all cases.
     ///
     /// # Panics
     ///
     /// Panics if operands exceed `n` bits or (fp mode) `b != 0` lacks its
     /// leading one.
+    #[inline]
     pub fn multiply(&self, a: u64, b: u64) -> u64 {
+        if let Some(lut) = &self.lut {
+            let n = self.layout.mantissa_width();
+            assert!(bits::width_of(a) <= n, "multiplicand {a:#x} wider than {n} bits");
+            assert!(bits::width_of(b) <= n, "multiplier {b:#x} wider than {n} bits");
+            if self.layout.mode() == OperandMode::Fp {
+                assert!(
+                    b == 0 || bits::bit(b, n - 1),
+                    "fp-mode multiplier {b:#x} lacks its leading one"
+                );
+            }
+            return lut[((a << n) | b) as usize] as u64;
+        }
+        self.multiply_bitwise(a, b)
+    }
+
+    /// The wired-OR read computed directly from the line layout (decode,
+    /// then OR the selected stored patterns), bypassing the memoized
+    /// table. This is the semantic reference the table is built from;
+    /// exposed so equivalence can be asserted in tests and audits.
+    ///
+    /// # Panics
+    ///
+    /// As [`multiply`](Self::multiply).
+    pub fn multiply_bitwise(&self, a: u64, b: u64) -> u64 {
+        or_read(&self.layout, a, b)
+    }
+
+    /// Pre-binds the multiplicand (stored-operand) side of the multiply,
+    /// so a GEMM inner loop that reuses one `A` element against a whole
+    /// row panel of `B` pays the line-pattern derivation once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` exceeds `n` bits.
+    pub fn prepare(&self, a: u64) -> PreparedMultiplicand {
+        let n = self.layout.mantissa_width();
+        assert!(bits::width_of(a) <= n, "multiplicand {a:#x} wider than {n} bits");
+        let patterns = if self.lut.is_some() {
+            // Table path: per-line patterns are never consulted.
+            Vec::new()
+        } else {
+            (0..self.layout.len()).map(|i| self.layout.stored_pattern(i, a)).collect()
+        };
+        PreparedMultiplicand { a, patterns }
+    }
+
+    /// [`multiply`](Self::multiply) with a pre-bound multiplicand:
+    /// bit-identical results, but the per-line stored patterns (or the
+    /// table row) are reused across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` exceeds `n` bits or (fp mode) `b != 0` lacks its
+    /// leading one.
+    #[inline]
+    pub fn multiply_prepared(&self, prep: &PreparedMultiplicand, b: u64) -> u64 {
+        if let Some(lut) = &self.lut {
+            let n = self.layout.mantissa_width();
+            assert!(bits::width_of(b) <= n, "multiplier {b:#x} wider than {n} bits");
+            if self.layout.mode() == OperandMode::Fp {
+                assert!(
+                    b == 0 || bits::bit(b, n - 1),
+                    "fp-mode multiplier {b:#x} lacks its leading one"
+                );
+            }
+            return lut[((prep.a << n) | b) as usize] as u64;
+        }
+        self.or_prepared(prep, b)
+    }
+
+    /// [`multiply_prepared`](Self::multiply_prepared) without operand
+    /// re-validation, for crate-internal hot loops whose `b` is the
+    /// mantissa of an already-decoded `Normal` scalar (in range and
+    /// carrying its leading one by construction).
+    #[inline]
+    pub(crate) fn multiply_prepared_trusted(&self, prep: &PreparedMultiplicand, b: u64) -> u64 {
+        debug_assert!(bits::width_of(b) <= self.layout.mantissa_width());
+        debug_assert!(
+            self.layout.mode() != OperandMode::Fp
+                || b == 0
+                || bits::bit(b, self.layout.mantissa_width() - 1)
+        );
+        if let Some(lut) = &self.lut {
+            return lut[((prep.a << self.layout.mantissa_width()) | b) as usize] as u64;
+        }
+        self.or_prepared(prep, b)
+    }
+
+    #[inline]
+    fn or_prepared(&self, prep: &PreparedMultiplicand, b: u64) -> u64 {
         let mask = self.layout.decode(b);
         let mut acc = 0u64;
         let mut m = mask;
         while m != 0 {
             let i = m.trailing_zeros() as usize;
-            acc |= self.layout.stored_pattern(i, a);
+            acc |= prep.patterns[i];
             m &= m - 1;
         }
         acc
@@ -116,6 +286,25 @@ impl MantissaMultiplier {
         } else {
             result
         }
+    }
+}
+
+/// A multiplicand with its per-line stored patterns derived once, for
+/// batched multiplies against many multipliers — see
+/// [`MantissaMultiplier::prepare`].
+#[derive(Debug, Clone)]
+pub struct PreparedMultiplicand {
+    a: u64,
+    /// One stored pattern per wordline (empty when the multiplier serves
+    /// products from its memoized table instead).
+    patterns: Vec<u64>,
+}
+
+impl PreparedMultiplicand {
+    /// The bound multiplicand value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.a
     }
 }
 
@@ -336,6 +525,93 @@ mod tests {
         // single pair must stay within that envelope.
         let rel = (exact - approx) as f64 / exact as f64;
         assert!(rel < 0.20, "rel error {rel}");
+    }
+
+    #[test]
+    fn lut_matches_bitwise_exhaustively_fp_mode() {
+        // The memoized table must be indistinguishable from the direct
+        // wired-OR computation for every decodable operand pair.
+        for m in all_multipliers(8) {
+            assert!(m.lut.is_some(), "{}: 8-bit multiplier should carry a LUT", m.config());
+            for a in fp_mantissas_8() {
+                for b in fp_mantissas_8() {
+                    assert_eq!(
+                        m.multiply(a, b),
+                        m.multiply_bitwise(a, b),
+                        "{}: a={a:#x} b={b:#x}",
+                        m.config()
+                    );
+                }
+                assert_eq!(m.multiply(a, 0), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lut_matches_bitwise_exhaustively_int_mode() {
+        for kind in MultiplierKind::ALL {
+            for truncate in [false, true] {
+                let m = MantissaMultiplier::new(
+                    MultiplierConfig { kind, truncate },
+                    OperandMode::Int,
+                    8,
+                );
+                for a in (0u64..256).step_by(3) {
+                    for b in 0u64..256 {
+                        assert_eq!(
+                            m.multiply(a, b),
+                            m.multiply_bitwise(a, b),
+                            "{}: a={a:#x} b={b:#x}",
+                            m.config()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_path_matches_plain_multiply() {
+        // Narrow (LUT) and wide (pattern-reuse) widths both go through
+        // `prepare`; results must be bit-identical to `multiply`.
+        for n in [8u32, 24] {
+            for m in all_multipliers_n(n) {
+                let top = 1u64 << (n - 1);
+                for a in [top, top | 1, top | (top >> 1), (1 << n) - 1] {
+                    let prep = m.prepare(a);
+                    assert_eq!(prep.value(), a);
+                    for b in [top, top | 3, top | ((top - 1) / 3), (1 << n) - 1] {
+                        assert_eq!(
+                            m.multiply_prepared(&prep, b),
+                            m.multiply(a, b),
+                            "{} n={n}: a={a:#x} b={b:#x}",
+                            m.config()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_multiplier_skips_lut() {
+        let m = MantissaMultiplier::new(MultiplierConfig::PC3_TR, OperandMode::Fp, 24);
+        assert!(m.lut.is_none(), "24-bit table would need 2^48 entries");
+    }
+
+    #[test]
+    fn lut_storage_is_shared_between_instances() {
+        let a = MantissaMultiplier::new(MultiplierConfig::PC3_TR, OperandMode::Fp, 8);
+        let b = MantissaMultiplier::new(MultiplierConfig::PC3_TR, OperandMode::Fp, 8);
+        let (la, lb) = (a.lut.as_ref().unwrap(), b.lut.as_ref().unwrap());
+        assert!(std::sync::Arc::ptr_eq(la, lb), "memo cache must deduplicate tables");
+    }
+
+    fn all_multipliers_n(n: u32) -> Vec<MantissaMultiplier> {
+        MultiplierConfig::ALL
+            .iter()
+            .map(|&c| MantissaMultiplier::new(c, OperandMode::Fp, n))
+            .collect()
     }
 
     #[test]

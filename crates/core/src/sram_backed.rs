@@ -103,19 +103,11 @@ impl SramMultiplier {
     fn check_operand(&self, v: u64, is_multiplier: bool) -> Result<(), CoreError> {
         let n = self.layout.mantissa_width();
         if bits::width_of(v) > n {
-            return Err(CoreError::OperandWidth {
-                value: v,
-                width: n,
-                missing_leading_one: false,
-            });
+            return Err(CoreError::OperandWidth { value: v, width: n, missing_leading_one: false });
         }
         if is_multiplier && self.layout.mode() == OperandMode::Fp && v != 0 && !bits::bit(v, n - 1)
         {
-            return Err(CoreError::OperandWidth {
-                value: v,
-                width: n,
-                missing_leading_one: true,
-            });
+            return Err(CoreError::OperandWidth { value: v, width: n, missing_leading_one: true });
         }
         Ok(())
     }
@@ -249,11 +241,7 @@ mod tests {
             for b in (0x80u64..=0xFF).step_by(7) {
                 for (&a, &(group, slot)) in a_values.iter().zip(&homes) {
                     let hw_result = hw.multiply(group, slot, b).unwrap();
-                    assert_eq!(
-                        hw_result,
-                        sw.multiply(a, b),
-                        "{config}: a={a:#x} b={b:#x}"
-                    );
+                    assert_eq!(hw_result, sw.multiply(a, b), "{config}: a={a:#x} b={b:#x}");
                 }
             }
         }
@@ -304,10 +292,7 @@ mod tests {
         let mut hw =
             SramMultiplier::new(MultiplierConfig::PC3, OperandMode::Fp, 8, geom_2k()).unwrap();
         let too_many: Vec<u64> = vec![0x80; hw.capacity() + 1];
-        assert!(matches!(
-            hw.program_all(&too_many),
-            Err(CoreError::CapacityExceeded { .. })
-        ));
+        assert!(matches!(hw.program_all(&too_many), Err(CoreError::CapacityExceeded { .. })));
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Differential property suite: the tiled + parallel GEMM engine must be
+//! **bit-identical** to the scalar reference for every backend, every
+//! multiplier configuration and every shape — including degenerate ones.
+//!
+//! This is the contract that makes the engine a pure speed refactor: any
+//! divergence in accumulation order, zero-bypass handling or backend
+//! batching shows up here as a failing bit comparison.
+
+use daism_core::{
+    gemm, gemm_reference, gemm_tiled_serial, ApproxFpMul, ExactMul, MultiplierConfig,
+    QuantizedExactMul, ScalarMul,
+};
+use daism_num::FpFormat;
+use proptest::prelude::*;
+
+/// All backends under test: exact, quantized-exact, and the approximate
+/// pipeline over FLA/PC2/PC3 × truncation × both paper formats.
+fn backends() -> Vec<Box<dyn ScalarMul>> {
+    let mut v: Vec<Box<dyn ScalarMul>> = vec![
+        Box::new(ExactMul),
+        Box::new(QuantizedExactMul::new(FpFormat::BF16)),
+        Box::new(QuantizedExactMul::new(FpFormat::FP32)),
+    ];
+    for config in MultiplierConfig::ALL {
+        v.push(Box::new(ApproxFpMul::new(config, FpFormat::BF16)));
+    }
+    // One wide-mantissa (no-LUT, prepared-pattern) representative.
+    v.push(Box::new(ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::FP32)));
+    v
+}
+
+fn assert_all_backends_bit_identical(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<(), TestCaseError> {
+    for mul in backends() {
+        let mut reference = vec![0.0f32; m * n];
+        let mut tiled = vec![0.0f32; m * n];
+        let mut serial = vec![0.0f32; m * n];
+        gemm_reference(mul.as_ref(), a, b, &mut reference, m, k, n);
+        gemm(mul.as_ref(), a, b, &mut tiled, m, k, n);
+        gemm_tiled_serial(mul.as_ref(), a, b, &mut serial, m, k, n);
+        for (i, (r, t)) in reference.iter().zip(&tiled).enumerate() {
+            prop_assert_eq!(
+                r.to_bits(),
+                t.to_bits(),
+                "{} {}x{}x{} element {}: reference {} vs tiled {}",
+                mul.name(),
+                m,
+                k,
+                n,
+                i,
+                r,
+                t
+            );
+        }
+        for (i, (r, s)) in reference.iter().zip(&serial).enumerate() {
+            prop_assert_eq!(
+                r.to_bits(),
+                s.to_bits(),
+                "{} {}x{}x{} element {}: reference {} vs serial-tiled {}",
+                mul.name(),
+                m,
+                k,
+                n,
+                i,
+                r,
+                s
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Sparsify: push small magnitudes to exact zero so the zero-bypass path
+/// is exercised on almost every case.
+fn sparsify(v: Vec<f32>) -> Vec<f32> {
+    v.into_iter().map(|x| if x.abs() < 1.5 { 0.0 } else { x }).collect()
+}
+
+proptest! {
+    #[test]
+    fn tiled_equals_reference_on_odd_small_shapes(
+        case in (0usize..8, 0usize..8, 0usize..8).prop_flat_map(|(m, k, n)| {
+            (
+                Just((m, k, n)),
+                prop::collection::vec(-8.0f32..8.0, m * k),
+                prop::collection::vec(-8.0f32..8.0, k * n),
+            )
+        }),
+    ) {
+        let ((m, k, n), a, b) = case;
+        let (a, b) = (sparsify(a), sparsify(b));
+        assert_all_backends_bit_identical(&a, &b, m, k, n)?;
+    }
+
+    #[test]
+    fn tiled_equals_reference_above_parallel_threshold(
+        case in (33usize..44, 24usize..32, 96usize..128).prop_flat_map(|(m, k, n)| {
+            // m > MC and m·k·n ≥ 76k MACs: the row panels genuinely split
+            // and (on a multi-core host) run on worker threads.
+            (
+                Just((m, k, n)),
+                prop::collection::vec(-8.0f32..8.0, m * k),
+                prop::collection::vec(-8.0f32..8.0, k * n),
+            )
+        }),
+    ) {
+        let ((m, k, n), a, b) = case;
+        let (a, b) = (sparsify(a), sparsify(b));
+        // Restrict to the three cheapest backends at this size to keep
+        // the suite fast; the small-shape property covers the full grid.
+        for mul in [
+            Box::new(ExactMul) as Box<dyn ScalarMul>,
+            Box::new(ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16)),
+            Box::new(ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::BF16)),
+        ] {
+            let mut reference = vec![0.0f32; m * n];
+            let mut tiled = vec![0.0f32; m * n];
+            gemm_reference(mul.as_ref(), &a, &b, &mut reference, m, k, n);
+            gemm(mul.as_ref(), &a, &b, &mut tiled, m, k, n);
+            for (r, t) in reference.iter().zip(&tiled) {
+                prop_assert_eq!(r.to_bits(), t.to_bits(), "{} diverged at {}x{}x{}",
+                    mul.name(), m, k, n);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulation_into_nonzero_c_is_preserved(
+        seed in 0u64..1000,
+    ) {
+        // C arrives non-zero (bias pre-fill, residual accumulation): the
+        // engine must add to it exactly as the reference does.
+        let (m, k, n) = (5usize, 9usize, 6usize);
+        let hash = |i: usize, salt: u64| -> f32 {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed ^ salt);
+            ((h % 997) as f32 - 498.0) / 100.0
+        };
+        let a: Vec<f32> = (0..m * k).map(|i| hash(i, 1)).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| hash(i, 2)).collect();
+        let c0: Vec<f32> = (0..m * n).map(|i| hash(i, 3)).collect();
+        for mul in backends() {
+            let mut reference = c0.clone();
+            let mut tiled = c0.clone();
+            gemm_reference(mul.as_ref(), &a, &b, &mut reference, m, k, n);
+            gemm(mul.as_ref(), &a, &b, &mut tiled, m, k, n);
+            for (r, t) in reference.iter().zip(&tiled) {
+                prop_assert_eq!(r.to_bits(), t.to_bits(), "{}", mul.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn unit_dims_zero_dims_exhaustive() {
+    // Every combination of {0, 1, 2} per dimension, all backends.
+    for m in [0usize, 1, 2] {
+        for k in [0usize, 1, 2] {
+            for n in [0usize, 1, 2] {
+                let a: Vec<f32> = (0..m * k).map(|i| i as f32 - 1.0).collect();
+                let b: Vec<f32> = (0..k * n).map(|i| 0.5 * i as f32 - 0.5).collect();
+                for mul in backends() {
+                    let mut reference = vec![0.0f32; m * n];
+                    let mut tiled = vec![0.0f32; m * n];
+                    gemm_reference(mul.as_ref(), &a, &b, &mut reference, m, k, n);
+                    gemm(mul.as_ref(), &a, &b, &mut tiled, m, k, n);
+                    assert_eq!(reference, tiled, "{} {m}x{k}x{n}", mul.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mantissa_lut_equals_bitwise_for_every_fp_operand_pair() {
+    // LUT-vs-bitwise equivalence at the mantissa level, exhaustive over
+    // the bf16 fp-operand space for all five Table I configurations.
+    use daism_core::{MantissaMultiplier, OperandMode};
+    for config in MultiplierConfig::ALL {
+        let m = MantissaMultiplier::new(config, OperandMode::Fp, 8);
+        for a in 0x80u64..=0xFF {
+            for b in 0x80u64..=0xFF {
+                assert_eq!(
+                    m.multiply(a, b),
+                    m.multiply_bitwise(a, b),
+                    "{config}: a={a:#x} b={b:#x}"
+                );
+            }
+        }
+    }
+}

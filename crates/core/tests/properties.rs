@@ -1,10 +1,10 @@
 //! Property-based tests for the multiplier invariants listed in
 //! DESIGN.md §3.
 
+use daism_core::ApproxFpMul;
 use daism_core::{
     exact_mul, MantissaMultiplier, MultiplierConfig, OperandMode, ScalarMul, SramMultiplier,
 };
-use daism_core::ApproxFpMul;
 use daism_num::{FpFormat, FpScalar};
 use daism_sram::BankGeometry;
 use proptest::prelude::*;

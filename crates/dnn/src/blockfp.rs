@@ -55,8 +55,7 @@ pub fn blockfp_gemm(
 
     // Result scale: each mantissa is value * 2^(w-2-exp); a product of
     // two mantissas carries 2^(2(w-2) - expA - expB).
-    let scale =
-        2f64.powi(block_a.shared_exp() + block_b.shared_exp() - 2 * (man_width as i32 - 2));
+    let scale = 2f64.powi(block_a.shared_exp() + block_b.shared_exp() - 2 * (man_width as i32 - 2));
     let shift_back = if config.truncate { man_width - 1 } else { 0 };
 
     let ma = block_a.mantissas();
@@ -118,11 +117,7 @@ mod tests {
         let exact = exact_gemm(&a, &b, 6, 8, 6);
         let err = |config| {
             let c = blockfp_gemm(config, 12, &a, &b, 6, 8, 6);
-            exact
-                .iter()
-                .zip(&c)
-                .map(|(e, v)| (e - v).abs() as f64)
-                .sum::<f64>()
+            exact.iter().zip(&c).map(|(e, v)| (e - v).abs() as f64).sum::<f64>()
         };
         let fla = err(MultiplierConfig::FLA);
         let pc3 = err(MultiplierConfig::PC3);

@@ -37,13 +37,7 @@ impl Dataset {
 ///
 /// Cluster centres are placed deterministically on a scaled hypercube
 /// so classes are separable but not trivially so.
-pub fn gaussian_blobs(
-    classes: usize,
-    dim: usize,
-    train: usize,
-    test: usize,
-    seed: u64,
-) -> Dataset {
+pub fn gaussian_blobs(classes: usize, dim: usize, train: usize, test: usize, seed: u64) -> Dataset {
     gaussian_blobs_spread(classes, dim, train, test, seed, 0.7)
 }
 
@@ -77,8 +71,8 @@ pub fn gaussian_blobs_spread(
         let mut ys = Vec::with_capacity(count);
         for i in 0..count {
             let c = i % classes;
-            for d in 0..dim {
-                xs.push(centres[c][d] + rng.gen_range(-spread..spread));
+            for &centre in &centres[c] {
+                xs.push(centre + rng.gen_range(-spread..spread));
             }
             ys.push(c);
         }
@@ -97,13 +91,7 @@ pub fn shapes(size: usize, train: usize, test: usize, seed: u64) -> Dataset {
 }
 
 /// [`shapes`] with an explicit additive-noise amplitude.
-pub fn shapes_noisy(
-    size: usize,
-    train: usize,
-    test: usize,
-    seed: u64,
-    noise: f32,
-) -> Dataset {
+pub fn shapes_noisy(size: usize, train: usize, test: usize, seed: u64, noise: f32) -> Dataset {
     assert!(size >= 8, "shapes need at least 8x8 images");
     assert!(noise >= 0.0);
     let classes = 4;
@@ -185,8 +173,8 @@ pub fn spiral(classes: usize, train: usize, test: usize, seed: u64) -> Dataset {
         for i in 0..count {
             let c = i % classes;
             let t = rng.gen_range(0.25f32..1.0);
-            let angle =
-                t * 3.5 * std::f32::consts::PI + (c as f32) * 2.0 * std::f32::consts::PI / classes as f32;
+            let angle = t * 3.5 * std::f32::consts::PI
+                + (c as f32) * 2.0 * std::f32::consts::PI / classes as f32;
             let r = t * 2.0;
             xs.push(r * angle.cos() + rng.gen_range(-0.05f32..0.05));
             xs.push(r * angle.sin() + rng.gen_range(-0.05f32..0.05));
@@ -246,9 +234,7 @@ mod tests {
             let mut n = 0;
             for (i, &y) in d.train_y.iter().enumerate() {
                 if y == class {
-                    for (a, v) in
-                        acc.iter_mut().zip(&d.train_x.data()[i * 144..(i + 1) * 144])
-                    {
+                    for (a, v) in acc.iter_mut().zip(&d.train_x.data()[i * 144..(i + 1) * 144]) {
                         *a += v;
                     }
                     n += 1;

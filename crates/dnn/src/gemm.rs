@@ -1,71 +1,15 @@
-use daism_core::ScalarMul;
+//! GEMM entry points for the DNN layers — thin re-exports of the shared
+//! engine in `daism-core`.
+//!
+//! Every layer (forward *and* backward) lowers its multiplies to
+//! [`gemm`], so the whole framework — `layers`, `train`, `models`, and
+//! through them the figure runners in `daism-bench` — rides the tiled,
+//! cache-blocked, parallel kernel. The scalar [`gemm_reference`] is kept
+//! as the semantic anchor: the engine is bit-identical to it for every
+//! backend (see `daism-core`'s differential suite), so swapping it in
+//! changed no experiment output, only wall-clock time.
 
-/// `C[m×n] = A[m×k] · B[k×n]` (row-major), with every scalar product
-/// routed through `mul` and accumulation at `f32`.
-///
-/// When `mul` is native `f32` multiplication
-/// ([`ScalarMul::is_native_f32`]), a tight loop without per-element
-/// dispatch is used — identical results, much faster training.
-///
-/// # Panics
-///
-/// Panics if slice lengths do not match the shape.
-///
-/// # Examples
-///
-/// ```
-/// use daism_core::ExactMul;
-///
-/// let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
-/// let b = [5.0, 6.0, 7.0, 8.0]; // 2x2
-/// let mut c = [0.0f32; 4];
-/// daism_dnn::gemm(&ExactMul, &a, &b, &mut c, 2, 2, 2);
-/// assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
-/// ```
-pub fn gemm(
-    mul: &dyn ScalarMul,
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-) {
-    assert_eq!(a.len(), m * k, "A has wrong length");
-    assert_eq!(b.len(), k * n, "B has wrong length");
-    assert_eq!(c.len(), m * n, "C has wrong length");
-    if mul.is_native_f32() {
-        for i in 0..m {
-            for l in 0..k {
-                let av = a[i * k + l];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[l * n..(l + 1) * n];
-                let crow = &mut c[i * n..(i + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
-            }
-        }
-    } else {
-        for i in 0..m {
-            for l in 0..k {
-                let av = a[i * k + l];
-                if av == 0.0 {
-                    continue; // zero bypass, as the hardware does
-                }
-                let brow = &b[l * n..(l + 1) * n];
-                let crow = &mut c[i * n..(i + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow) {
-                    if *bv != 0.0 {
-                        *cv += mul.mul(av, *bv);
-                    }
-                }
-            }
-        }
-    }
-}
+pub use daism_core::{gemm, gemm_reference};
 
 #[cfg(test)]
 mod tests {
@@ -112,6 +56,21 @@ mod tests {
         for (ap, ex) in approx.iter().zip(&exact) {
             assert!(ap <= ex);
             assert!(*ap > 0.5 * ex);
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_through_dnn_reexport() {
+        // The re-exported engine must stay wired to the same reference.
+        let mul = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+        let a: Vec<f32> = (0..6 * 9).map(|i| (i as f32 % 11.0) - 5.0).collect();
+        let b: Vec<f32> = (0..9 * 4).map(|i| (i as f32 % 7.0) - 3.0).collect();
+        let mut fast = vec![0.0f32; 24];
+        let mut slow = vec![0.0f32; 24];
+        gemm(&mul, &a, &b, &mut fast, 6, 9, 4);
+        gemm_reference(&mul, &a, &b, &mut slow, 6, 9, 4);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.to_bits(), s.to_bits());
         }
     }
 

@@ -221,8 +221,7 @@ impl Conv2d {
                             continue;
                         }
                         for oj in 0..ow {
-                            let src_j =
-                                (oj * self.stride + kj) as isize - self.padding as isize;
+                            let src_j = (oj * self.stride + kj) as isize - self.padding as isize;
                             if src_j < 0 || src_j >= w as isize {
                                 continue;
                             }
@@ -251,8 +250,7 @@ impl Conv2d {
                             continue;
                         }
                         for oj in 0..ow {
-                            let src_j =
-                                (oj * self.stride + kj) as isize - self.padding as isize;
+                            let src_j = (oj * self.stride + kj) as isize - self.padding as isize;
                             if src_j < 0 || src_j >= w as isize {
                                 continue;
                             }
@@ -288,9 +286,7 @@ impl Layer for Conv2d {
             );
             for c in 0..self.out_ch {
                 let b = self.b.value.data()[c];
-                for v in
-                    &mut y.data_mut()[out_off + c * oh * ow..out_off + (c + 1) * oh * ow]
-                {
+                for v in &mut y.data_mut()[out_off + c * oh * ow..out_off + (c + 1) * oh * ow] {
                     *v += b;
                 }
             }
@@ -377,8 +373,7 @@ impl Layer for ReLU {
 
     fn backward(&mut self, grad: &Tensor, _mul: &dyn ScalarMul) -> Tensor {
         let mask = self.mask.as_ref().expect("ReLU::backward before forward");
-        let data =
-            grad.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
+        let data = grad.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Tensor::from_vec(data, grad.shape())
     }
 
@@ -613,6 +608,7 @@ mod tests {
         let n_params = analytic.len();
         for pi in 0..n_params {
             let n_elems = analytic[pi].len().min(8); // spot-check a few
+            #[allow(clippy::needless_range_loop)] // e also indexes params[pi]
             for e in 0..n_elems {
                 let orig = {
                     let mut params = layer.params_mut();
@@ -718,7 +714,10 @@ mod tests {
     fn maxpool_forward_and_routing() {
         let mut p = MaxPool2d::new();
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         );
         let y = p.forward(&x, &ExactMul, true);
@@ -759,10 +758,8 @@ mod tests {
 
     #[test]
     fn sequential_composes() {
-        let mut model = Sequential::new()
-            .push(Dense::new(4, 8, 1))
-            .push(ReLU::new())
-            .push(Dense::new(8, 2, 2));
+        let mut model =
+            Sequential::new().push(Dense::new(4, 8, 1)).push(ReLU::new()).push(Dense::new(8, 2, 2));
         let x = Tensor::randn(&[3, 4], 1.0, 3);
         let y = model.forward(&x, &ExactMul, true);
         assert_eq!(y.shape(), &[3, 2]);

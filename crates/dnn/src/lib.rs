@@ -48,6 +48,6 @@ mod tensor;
 pub mod train;
 
 pub use blockfp::blockfp_gemm;
-pub use gemm::gemm;
+pub use gemm::{gemm, gemm_reference};
 pub use layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Param, ReLU, Residual, Sequential};
 pub use tensor::Tensor;

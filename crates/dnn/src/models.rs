@@ -22,7 +22,7 @@ pub fn mlp(in_dim: usize, hidden: usize, classes: usize, depth: usize) -> Sequen
 ///
 /// Panics if `size` is not divisible by 4 (two 2× pools).
 pub fn mini_vgg(size: usize, classes: usize) -> Sequential {
-    assert!(size % 4 == 0, "mini_vgg needs size divisible by 4, got {size}");
+    assert!(size.is_multiple_of(4), "mini_vgg needs size divisible by 4, got {size}");
     let after_pools = size / 4;
     Sequential::new()
         .push(Conv2d::new(1, 8, 3, 1, 1, 201))
@@ -44,7 +44,7 @@ pub fn mini_vgg(size: usize, classes: usize) -> Sequential {
 ///
 /// Panics if `size` is not divisible by 4.
 pub fn tiny_resnet(size: usize, classes: usize) -> Sequential {
-    assert!(size % 4 == 0, "tiny_resnet needs size divisible by 4, got {size}");
+    assert!(size.is_multiple_of(4), "tiny_resnet needs size divisible by 4, got {size}");
     let after_pools = size / 4;
     let block = |seed: u64| {
         Residual::new(

@@ -55,16 +55,15 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     assert_eq!(labels.len(), batch, "label count mismatch");
     let mut grad = Tensor::zeros(logits.shape());
     let mut loss = 0.0f32;
-    for n in 0..batch {
+    for (n, &label) in labels.iter().enumerate() {
         let row = &logits.data()[n * classes..(n + 1) * classes];
         let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        let label = labels[n];
         assert!(label < classes, "label {label} out of range");
         loss -= (exps[label] / sum).max(1e-12).ln();
-        for c in 0..classes {
-            let p = exps[c] / sum;
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / sum;
             grad.data_mut()[n * classes + c] =
                 (p - if c == label { 1.0 } else { 0.0 }) / batch as f32;
         }
@@ -76,10 +75,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
 pub fn sgd_step(model: &mut Sequential, lr: f32, momentum: f32, weight_decay: f32) {
     for p in model.params_mut() {
         let value = p.value.data().to_vec();
-        for ((v, g), vel) in value
-            .iter()
-            .zip(p.grad.data().to_vec())
-            .zip(p.velocity.data_mut().iter_mut())
+        for ((v, g), vel) in
+            value.iter().zip(p.grad.data().to_vec()).zip(p.velocity.data_mut().iter_mut())
         {
             *vel = momentum * *vel - lr * (g + weight_decay * v);
         }
@@ -132,12 +129,7 @@ pub fn fit(
 }
 
 /// Classification accuracy of `model` on `(x, labels)` under `mul`.
-pub fn accuracy(
-    model: &mut Sequential,
-    x: &Tensor,
-    labels: &[usize],
-    mul: &dyn ScalarMul,
-) -> f32 {
+pub fn accuracy(model: &mut Sequential, x: &Tensor, labels: &[usize], mul: &dyn ScalarMul) -> f32 {
     // Evaluate in chunks to bound activation memory.
     let n = x.shape()[0];
     let chunk = 64usize;
@@ -147,8 +139,7 @@ pub fn accuracy(
         let end = (start + chunk).min(n);
         let logits = model.forward(&slice_batch(x, start, end), mul, false);
         let pred = logits.argmax_rows();
-        correct +=
-            pred.iter().zip(&labels[start..end]).filter(|(p, l)| p == l).count();
+        correct += pred.iter().zip(&labels[start..end]).filter(|(p, l)| p == l).count();
         start = end;
     }
     correct as f32 / n as f32
@@ -195,7 +186,12 @@ mod tests {
     fn mlp_learns_blobs() {
         let data = datasets::gaussian_blobs(3, 8, 150, 60, 11);
         let mut model = models::mlp(8, 16, 3, 1);
-        let h = fit(&mut model, &data, &ExactMul, &TrainParams { epochs: 6, ..TrainParams::quick_test() });
+        let h = fit(
+            &mut model,
+            &data,
+            &ExactMul,
+            &TrainParams { epochs: 6, ..TrainParams::quick_test() },
+        );
         // Loss decreases and accuracy is well above chance (1/3).
         assert!(h.loss.last().unwrap() < h.loss.first().unwrap());
         let acc = accuracy(&mut model, &data.test_x, &data.test_y, &ExactMul);
@@ -232,7 +228,12 @@ mod tests {
         let data = datasets::gaussian_blobs(2, 4, 80, 40, 17);
         let mut model = models::mlp(4, 8, 2, 1);
         let approx = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
-        let h = fit(&mut model, &data, &approx, &TrainParams { epochs: 5, ..TrainParams::quick_test() });
+        let h = fit(
+            &mut model,
+            &data,
+            &approx,
+            &TrainParams { epochs: 5, ..TrainParams::quick_test() },
+        );
         let acc = accuracy(&mut model, &data.test_x, &data.test_y, &approx);
         assert!(acc > 0.7, "approx-trained accuracy {acc}");
         assert!(h.loss.last().unwrap() < h.loss.first().unwrap());

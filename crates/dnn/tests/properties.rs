@@ -1,6 +1,6 @@
 //! Property-based tests for the GEMM backends and layers.
 
-use daism_core::{ApproxFpMul, ExactMul, MultiplierConfig, ScalarMul};
+use daism_core::{ApproxFpMul, ExactMul, MultiplierConfig};
 use daism_dnn::{blockfp_gemm, gemm, Dense, Layer, ReLU, Sequential, Tensor};
 use daism_num::FpFormat;
 use proptest::prelude::*;

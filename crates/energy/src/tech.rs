@@ -137,11 +137,7 @@ pub fn dvfs_point(freq_fraction: f64) -> DvfsPoint {
         "freq fraction {freq_fraction} outside (0, 1]"
     );
     let voltage = VTH + (VNOM - VTH) * freq_fraction;
-    DvfsPoint {
-        voltage,
-        dynamic_scale: (voltage / VNOM).powi(2),
-        leakage_scale: voltage / VNOM,
-    }
+    DvfsPoint { voltage, dynamic_scale: (voltage / VNOM).powi(2), leakage_scale: voltage / VNOM }
 }
 
 impl fmt::Display for TechNode {

@@ -196,8 +196,7 @@ impl FpScalar {
             FpClass::Nan => f64::NAN,
             FpClass::Normal => {
                 let w = self.format.mantissa_width();
-                let magnitude =
-                    self.man as f64 * 2f64.powi(self.exp - (w as i32 - 1));
+                let magnitude = self.man as f64 * 2f64.powi(self.exp - (w as i32 - 1));
                 if self.sign {
                     -magnitude
                 } else {

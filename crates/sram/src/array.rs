@@ -196,9 +196,7 @@ impl SramArray {
                     let raw = self.cells.or_rows(&[row])?;
                     let s0 = f.stuck0.or_rows(&[row])?;
                     let s1 = f.stuck1.or_rows(&[row])?;
-                    for ((o, v), (m0, m1)) in
-                        out.iter_mut().zip(raw).zip(s0.into_iter().zip(s1))
-                    {
+                    for ((o, v), (m0, m1)) in out.iter_mut().zip(raw).zip(s0.into_iter().zip(s1)) {
                         *o |= (v & !m0) | m1;
                     }
                 }

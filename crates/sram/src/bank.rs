@@ -316,7 +316,11 @@ impl SramBank {
                 cols: self.geometry().cols(),
             });
         }
-        self.array.inject_stuck_at(self.row_of(group, line), self.col_of(slot) + bit as usize, value)
+        self.array.inject_stuck_at(
+            self.row_of(group, line),
+            self.col_of(slot) + bit as usize,
+            value,
+        )
     }
 
     /// Number of faulty cells in this bank.
@@ -429,9 +433,9 @@ mod tests {
         }
         let mask = 0b1011_0101u64;
         let grouped = b.read_or_group(5, mask).unwrap();
-        for slot in 0..b.slots() {
+        for (slot, &g) in grouped.iter().enumerate() {
             let single = b.read_or_slot(5, mask, slot).unwrap();
-            assert_eq!(grouped[slot], single, "slot {slot}");
+            assert_eq!(g, single, "slot {slot}");
         }
     }
 
@@ -447,9 +451,9 @@ mod tests {
             b.write_line(0, 1, slot, (slot as u64 * 101) & 0x1FF).unwrap();
         }
         let all = b.read_or_group(0, 0b11).unwrap();
-        for slot in 0..10 {
+        for (slot, &got) in all.iter().enumerate() {
             let expect = ((slot as u64 * 37) & 0x1FF) | ((slot as u64 * 101) & 0x1FF);
-            assert_eq!(all[slot], expect, "slot {slot}");
+            assert_eq!(got, expect, "slot {slot}");
         }
     }
 

@@ -164,12 +164,7 @@ impl BitMatrix {
     /// # Errors
     ///
     /// Returns an error if any row or the column span is out of range.
-    pub fn read_bits_or(
-        &self,
-        rows: &[usize],
-        col: usize,
-        width: u32,
-    ) -> Result<u64, SramError> {
+    pub fn read_bits_or(&self, rows: &[usize], col: usize, width: u32) -> Result<u64, SramError> {
         let mut out = 0u64;
         for &row in rows {
             out |= self.read_bits(row, col, width)?;
@@ -300,10 +295,7 @@ mod tests {
     #[test]
     fn errors_on_out_of_range() {
         let mut m = BitMatrix::new(2, 64);
-        assert_eq!(
-            m.read_bits(2, 0, 8),
-            Err(SramError::RowOutOfRange { row: 2, rows: 2 })
-        );
+        assert_eq!(m.read_bits(2, 0, 8), Err(SramError::RowOutOfRange { row: 2, rows: 2 }));
         assert_eq!(
             m.read_bits(0, 60, 8),
             Err(SramError::ColOutOfRange { col: 60, width: 8, cols: 64 })

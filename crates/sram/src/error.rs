@@ -63,7 +63,11 @@ impl fmt::Display for SramError {
                 write!(f, "row {row} out of range (array has {rows} rows)")
             }
             SramError::ColOutOfRange { col, width, cols } => {
-                write!(f, "columns {col}..{} out of range (array has {cols} columns)", col + *width as usize)
+                write!(
+                    f,
+                    "columns {col}..{} out of range (array has {cols} columns)",
+                    col + *width as usize
+                )
             }
             SramError::WidthTooWide(w) => write!(f, "word access width {w} exceeds 64 bits"),
             SramError::ValueTooWide { value, width } => {

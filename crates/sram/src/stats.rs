@@ -96,7 +96,14 @@ mod tests {
 
     #[test]
     fn add_accumulates() {
-        let a = AccessStats { writes: 1, bits_written: 8, single_reads: 2, or_reads: 3, wordline_activations: 9, bitlines_sensed: 48 };
+        let a = AccessStats {
+            writes: 1,
+            bits_written: 8,
+            single_reads: 2,
+            or_reads: 3,
+            wordline_activations: 9,
+            bitlines_sensed: 48,
+        };
         let b = AccessStats { writes: 10, ..Default::default() };
         let c = a + b;
         assert_eq!(c.writes, 11);

@@ -75,8 +75,8 @@ proptest! {
         }
         for group in 0..bank.groups() {
             let grouped = bank.read_or_group(group, mask).unwrap();
-            for slot in 0..bank.slots() {
-                prop_assert_eq!(grouped[slot], bank.read_or_slot(group, mask, slot).unwrap());
+            for (slot, &g) in grouped.iter().enumerate() {
+                prop_assert_eq!(g, bank.read_or_slot(group, mask, slot).unwrap());
             }
         }
     }

@@ -9,7 +9,11 @@ use daism::{ApproxFpMul, ExactMul, FpFormat, MultiplierConfig, QuantizedExactMul
 
 fn main() {
     let data = datasets::shapes(12, 400, 160, 99);
-    println!("dataset: 4-class 12x12 shape images, {} train / {} test", data.train_len(), data.test_len());
+    println!(
+        "dataset: 4-class 12x12 shape images, {} train / {} test",
+        data.train_len(),
+        data.test_len()
+    );
 
     let mut model = models::mini_vgg(12, 4);
     let params = train::TrainParams { epochs: 8, ..Default::default() };
@@ -21,10 +25,8 @@ fn main() {
         100.0 * history.train_acc.last().unwrap()
     );
 
-    let mut backends: Vec<Box<dyn ScalarMul>> = vec![
-        Box::new(ExactMul),
-        Box::new(QuantizedExactMul::new(FpFormat::BF16)),
-    ];
+    let mut backends: Vec<Box<dyn ScalarMul>> =
+        vec![Box::new(ExactMul), Box::new(QuantizedExactMul::new(FpFormat::BF16))];
     for config in MultiplierConfig::ALL {
         backends.push(Box::new(ApproxFpMul::new(config, FpFormat::BF16)));
     }

@@ -16,11 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for banks in [1usize, 4, 16, 64] {
         for kb in [8usize, 32, 128] {
-            let cfg = DaismConfig {
-                banks,
-                bank_bytes: kb * 1024,
-                ..DaismConfig::paper_16x8kb()
-            };
+            let cfg = DaismConfig { banks, bank_bytes: kb * 1024, ..DaismConfig::paper_16x8kb() };
             let Ok(model) = DaismModel::new(cfg) else { continue };
             let gemm = layers[0].gemm();
             match model.evaluate(&gemm) {
@@ -44,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== the paper's 16x8kB design across all VGG-8 conv layers ==");
     let model = DaismModel::new(DaismConfig::paper_16x8kb())?;
-    println!(
-        "{:<8} {:>14} {:>12} {:>8} {:>10}",
-        "layer", "GEMM", "cycles", "util", "GOPS"
-    );
+    println!("{:<8} {:>14} {:>12} {:>8} {:>10}", "layer", "GEMM", "cycles", "util", "GOPS");
     for layer in &layers {
         let gemm = layer.gemm();
         match model.perf(&gemm) {

@@ -47,9 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sram = SramMultiplier::new(MultiplierConfig::PC3, OperandMode::Fp, 8, geom)?;
     sram.program(0, 0, xs.mantissa())?;
     let raw = sram.multiply(0, 0, ys.mantissa())?;
-    let product = ApproxFpMul::new(MultiplierConfig::PC3, FpFormat::BF16)
-        .combine_raw(&xs, &ys, raw)
-        .to_f32();
+    let product =
+        ApproxFpMul::new(MultiplierConfig::PC3, FpFormat::BF16).combine_raw(&xs, &ys, raw).to_f32();
     println!("raw OR read-out = {raw:#06x}, recombined product = {product}");
     println!("SRAM stats: {}", sram.stats());
 

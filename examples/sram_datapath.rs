@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let out = hw.execute(&inputs)?;
-    println!("\nexecuted {} activations ({} bypassed for zero inputs)", hw.activations(), hw.bypassed());
+    println!(
+        "\nexecuted {} activations ({} bypassed for zero inputs)",
+        hw.activations(),
+        hw.bypassed()
+    );
     println!("SRAM stats: {}", hw.sram_stats());
 
     // Compare one output column against the exact result.

@@ -44,8 +44,9 @@ pub use daism_sram as sram;
 
 pub use daism_arch::{DaismConfig, DaismModel, EyerissModel, FunctionalDaism, GemmShape};
 pub use daism_core::{
-    ApproxFpMul, ExactMul, MantissaMultiplier, MultiplierConfig, MultiplierKind, OperandMode,
-    QuantizedExactMul, ScalarMul, SramMultiplier,
+    gemm, gemm_reference, ApproxFpMul, ExactMul, MantissaMultiplier, MultiplierConfig,
+    MultiplierKind, OperandMode, PreparedMultiplicand, QuantizedExactMul, ScalarMul,
+    SramMultiplier,
 };
 pub use daism_num::{Bf16, BlockFp, FpFormat, FpScalar};
 pub use daism_sram::{BankGeometry, SramBank};

@@ -5,8 +5,8 @@ use daism::arch::{vgg8_layers, FunctionalDaism};
 use daism::core::error_analysis;
 use daism::dnn::{datasets, models, train};
 use daism::{
-    ApproxFpMul, BankGeometry, DaismConfig, DaismModel, ExactMul, FpFormat, FpScalar,
-    GemmShape, MantissaMultiplier, MultiplierConfig, OperandMode, ScalarMul, SramMultiplier,
+    ApproxFpMul, BankGeometry, DaismConfig, DaismModel, ExactMul, FpFormat, FpScalar, GemmShape,
+    MantissaMultiplier, MultiplierConfig, OperandMode, ScalarMul, SramMultiplier,
 };
 
 #[test]

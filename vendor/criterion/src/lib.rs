@@ -1,0 +1,199 @@
+//! Offline polyfill for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API this workspace
+//! uses.
+//!
+//! The build container cannot reach a crates registry, so the real
+//! criterion cannot be fetched. This harness measures wall-clock time
+//! with adaptive iteration counts and prints `name: median … (mean …)`
+//! per benchmark — enough to track the perf trajectory of the GEMM
+//! engine. It does not do statistical regression analysis, plots or
+//! baselines.
+//!
+//! Environment knobs: `CRITERION_TARGET_MS` (measurement budget per
+//! benchmark, default 300 ms), `CRITERION_WARMUP_MS` (default 100 ms),
+//! `CRITERION_SAMPLES` (default 15).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default_ms),
+    )
+}
+
+/// Benchmark registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name}");
+        BenchmarkGroup { prefix: name, _parent: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.prefix, name.into()), f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we print eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` for the number of iterations the harness asks
+    /// for this sample.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let warmup = env_ms("CRITERION_WARMUP_MS", 100);
+    let target = env_ms("CRITERION_TARGET_MS", 300);
+    let samples: u64 = std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(15);
+
+    // Warm-up while estimating the per-iteration cost.
+    let mut iters = 1u64;
+    let mut per_iter = Duration::from_secs(1);
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warmup {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = b
+            .elapsed
+            .checked_div(iters as u32)
+            .unwrap_or(Duration::ZERO)
+            .max(Duration::from_nanos(1));
+        iters = iters.saturating_mul(2).min(1 << 30);
+    }
+
+    // Measurement: `samples` timed batches within the time budget.
+    let per_sample = target / samples as u32;
+    let batch = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+    let mut times_ns: Vec<f64> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
+        f(&mut b);
+        times_ns.push(b.elapsed.as_nanos() as f64 / batch as f64);
+    }
+    times_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = times_ns[times_ns.len() / 2];
+    let mean = times_ns.iter().sum::<f64>() / times_ns.len() as f64;
+    eprintln!("{name}: median {} (mean {}, {} iters/sample)", fmt_ns(median), fmt_ns(mean), batch);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring upstream's
+/// macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_TARGET_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(21) * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains('s'));
+    }
+}

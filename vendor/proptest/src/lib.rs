@@ -1,0 +1,252 @@
+//! Offline polyfill for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API this workspace
+//! uses.
+//!
+//! The build container cannot reach a crates registry, so the real
+//! proptest cannot be fetched. This crate reimplements the pieces the
+//! property suites need — the [`proptest!`] macro, range / `any` /
+//! mapped / filtered / tuple / collection / `sample::select` strategies,
+//! and the `prop_assert*` / `prop_assume!` macros — with honest random
+//! case generation (default 128 cases per property, `PROPTEST_CASES`
+//! overrides). **Shrinking is not implemented**: a failing case reports
+//! its inputs verbatim instead of a minimised counterexample.
+//!
+//! Seeds are derived deterministically from the test name (override with
+//! `PROPTEST_SEED`) so CI failures reproduce locally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` namespace mirroring upstream's module layout.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::collection_vec as vec;
+        pub use crate::strategy::SizeRange;
+    }
+    /// Sampling strategies (`prop::sample::select`).
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// Everything a property test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_property(x in 0u64..256, v in any::<bool>()) {
+///         prop_assert!(x < 256);
+///     }
+/// }
+/// ```
+///
+/// Each property runs `PROPTEST_CASES` (default 128) random cases;
+/// `prop_assume!` rejections draw replacement cases (bounded retries).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __cases = $crate::test_runner::case_count();
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __cases.saturating_mul(20).max(64);
+                while __accepted < __cases && __attempts < __max_attempts {
+                    __attempts += 1;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    // Capture inputs before the body can move them, so a
+                    // failure can report them (no shrinking here).
+                    let __inputs: ::std::string::String = {
+                        let mut __s = ::std::string::String::new();
+                        $(
+                            __s.push_str(stringify!($arg));
+                            __s.push_str(" = ");
+                            __s.push_str(&format!("{:?}", $arg));
+                            __s.push_str("; ");
+                        )*
+                        __s
+                    };
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest property `{}` failed after {} case(s): {}\n  inputs: {}",
+                                stringify!($name), __accepted + 1, __msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` for property bodies: failure reports the case instead of
+/// panicking mid-property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n  {}",
+                    __l, __r, format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (a replacement case is drawn).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in 3u64..10, y in -2.0f32..2.0, z in 1u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn mapped_and_filtered(v in (0u64..128).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v < 256);
+        }
+
+        #[test]
+        fn tuples_and_collections(
+            pair in (0u8..4, 0u8..4),
+            v in prop::collection::vec(0u32..100, 1..8),
+            pick in prop::sample::select(vec![10i32, 20, 30]),
+        ) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+            prop_assert!([10, 20, 30].contains(&pick));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn early_ok_return_is_accepted(x in 0u64..100) {
+            if x > 50 {
+                return Ok(());
+            }
+            prop_assert!(x <= 50);
+        }
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let strat = any::<f32>().prop_filter("finite normal", |v| v.is_normal() || *v == 0.0);
+        let mut rng = crate::test_runner::TestRng::for_test("filter_respects_predicate");
+        for _ in 0..1000 {
+            let v = strat.sample(&mut rng);
+            assert!(v.is_normal() || v == 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("same");
+        let mut b = crate::test_runner::TestRng::for_test("same");
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

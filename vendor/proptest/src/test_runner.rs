@@ -1,0 +1,61 @@
+//! Case execution support: the RNG, the case count and the per-case
+//! error type used by the `proptest!` / `prop_assert*` macros.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — draw a replacement.
+    Reject(&'static str),
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Number of accepted cases each property must run
+/// (`PROPTEST_CASES` env override; default 128).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(128)
+}
+
+/// The RNG handed to strategies.
+///
+/// Seeded deterministically from the test name (FNV-1a) so failures
+/// reproduce across runs and machines; `PROPTEST_SEED` overrides the
+/// base seed to explore different streams.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The deterministic RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(base ^ h) }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

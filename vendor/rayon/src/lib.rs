@@ -1,0 +1,222 @@
+//! Offline polyfill for the subset of the [`rayon`](https://crates.io/crates/rayon)
+//! API this workspace uses.
+//!
+//! The build container cannot reach a crates registry, so the real rayon
+//! cannot be fetched. This crate provides **genuine multi-threaded**
+//! implementations (scoped `std::thread`, not sequential fallbacks) of:
+//!
+//! * [`prelude::ParallelSliceMut::par_chunks_mut`] with
+//!   `.enumerate()`/`.for_each(..)` — the shape the DAISM GEMM engine
+//!   parallelises row panels with;
+//! * [`join`] — fork-join of two closures;
+//! * [`current_num_threads`] — honours `RAYON_NUM_THREADS`.
+//!
+//! Threads are spawned per call rather than pooled; callers (the GEMM
+//! engine) gate parallelism by problem size so spawn overhead never
+//! dominates. Splitting is block-wise and deterministic, and every chunk
+//! is a disjoint `&mut` region, so results never depend on scheduling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Number of worker threads parallel operations will use
+/// (`RAYON_NUM_THREADS` if set and non-zero, else the machine's available
+/// parallelism).
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    })
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// A to-be-consumed sequence of disjoint mutable chunks of a slice.
+///
+/// Produced by [`prelude::ParallelSliceMut::par_chunks_mut`]; consumed by
+/// [`ParChunksMut::for_each`] or [`ParChunksMut::enumerate`].
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut { chunks: self.chunks }
+    }
+
+    /// Applies `f` to every chunk across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync + Send,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// `true` if the underlying slice was empty.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+}
+
+/// [`ParChunksMut`] with indices attached.
+pub struct EnumeratedParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair across worker threads.
+    ///
+    /// Chunks are dealt to `min(num_threads, chunks)` scoped threads in
+    /// contiguous blocks; each chunk is visited exactly once.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync + Send,
+    {
+        let n_chunks = self.chunks.len();
+        if n_chunks == 0 {
+            return;
+        }
+        let workers = current_num_threads().min(n_chunks);
+        if workers <= 1 {
+            for (i, chunk) in self.chunks.into_iter().enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        // Deal contiguous blocks of chunks to each worker (uniform work
+        // per chunk in the GEMM use case, so block splitting balances).
+        let per = n_chunks.div_ceil(workers);
+        let mut blocks: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
+        let mut current = Vec::with_capacity(per);
+        for (i, chunk) in self.chunks.into_iter().enumerate() {
+            current.push((i, chunk));
+            if current.len() == per {
+                blocks.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            blocks.push(current);
+        }
+        let fref = &f;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(blocks.len());
+            for block in blocks {
+                handles.push(s.spawn(move || {
+                    for (i, chunk) in block {
+                        fref((i, chunk));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("rayon worker panicked");
+            }
+        });
+    }
+}
+
+/// Traits imported via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use super::ParallelSliceMut;
+}
+
+/// Parallel chunking over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into non-overlapping mutable chunks of
+    /// `chunk_size` elements (last chunk may be shorter), to be processed
+    /// in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_cover_slice_once() {
+        let mut v = vec![0u32; 1003];
+        v.par_chunks_mut(64).for_each(|chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1; // touch every element exactly once
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn enumerate_indices_match_offsets() {
+        let mut v: Vec<usize> = (0..500).collect();
+        v.par_chunks_mut(32).enumerate().for_each(|(i, chunk)| {
+            assert_eq!(chunk[0], i * 32);
+        });
+    }
+
+    #[test]
+    fn for_each_runs_every_chunk() {
+        let counter = AtomicUsize::new(0);
+        let mut v = vec![0u8; 256];
+        v.par_chunks_mut(16).for_each(|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut v: Vec<i32> = Vec::new();
+        v.par_chunks_mut(8).for_each(|_| panic!("no chunks expected"));
+    }
+}
