@@ -173,8 +173,8 @@ impl FunctionalDaism {
     }
 
     /// Reference output computed with the software pipeline: the same
-    /// approximate multiplier run through the shared batched GEMM engine
-    /// (`daism_core::gemm`) on `weights · inputs`.
+    /// approximate multiplier run through the shared prepared-panel GEMM
+    /// engine (`daism_core::gemm`) on `weights · inputs`.
     ///
     /// The datapath's segment-ordered accumulation visits each output's
     /// contributions in ascending-`k` order — exactly the engine's

@@ -1,0 +1,159 @@
+//! Machine-readable GEMM perf trajectory: times the scalar reference,
+//! the PR-1 serial tiled kernel, the serial prepared-panel kernel and
+//! the full parallel engine for the exact-f32 and bf16/PC3_tr backends,
+//! then writes `BENCH_gemm.json` so speedups are tracked across PRs
+//! without parsing criterion output.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p daism-bench --bin bench_gemm_json            # 64³ + 256³
+//! cargo run --release -p daism-bench --bin bench_gemm_json -- --quick # 16³ + 32³ (CI smoke)
+//! cargo run --release -p daism-bench --bin bench_gemm_json -- --out path.json
+//! ```
+//!
+//! Each (size, backend, variant) cell reports the best and median of a
+//! few timed repetitions (best-of filters scheduler noise; the median
+//! shows spread). Derived speedups versus the reference and versus the
+//! tiled kernel are included per cell so the JSON is self-describing.
+
+use daism_core::{
+    gemm, gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, MultiplierConfig,
+    ScalarMul,
+};
+use daism_num::FpFormat;
+use std::time::Instant;
+
+type GemmFn = fn(&dyn ScalarMul, &[f32], &[f32], &mut [f32], usize, usize, usize);
+
+const VARIANTS: &[(&str, GemmFn)] = &[
+    ("reference", gemm_reference),
+    ("tiled", gemm_tiled_serial),
+    ("prepared", gemm_prepared_serial),
+    ("parallel", gemm),
+];
+
+fn test_operands(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+    // Same deterministic fill as benches/gemm.rs, so numbers line up.
+    let a: Vec<f32> = (0..m * k).map(|i| (i as f32 % 7.0) - 3.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i as f32 % 5.0) - 2.0).collect();
+    (a, b)
+}
+
+/// Times one `(backend, variant, size)` cell: `reps` timed runs after
+/// one warm-up, returning `(best_ns, median_ns)`.
+fn time_cell(f: GemmFn, mul: &dyn ScalarMul, size: usize, reps: usize) -> (u128, u128) {
+    let (m, k, n) = (size, size, size);
+    let (a, b) = test_operands(m, k, n);
+    let mut out = vec![0.0f32; m * n];
+    f(mul, &a, &b, &mut out, m, k, n); // warm-up (LUT build, pool spawn)
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            out.fill(0.0);
+            let t0 = Instant::now();
+            f(mul, &a, &b, &mut out, m, k, n);
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[0], samples[samples.len() / 2])
+}
+
+struct Cell {
+    size: usize,
+    backend: String,
+    variant: &'static str,
+    best_ns: u128,
+    median_ns: u128,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_gemm.json".into());
+    let (sizes, reps): (&[usize], usize) = if quick { (&[16, 32], 3) } else { (&[64, 256], 5) };
+
+    let backends: Vec<(&str, Box<dyn ScalarMul>)> = vec![
+        ("exact_f32", Box::new(daism_core::ExactMul)),
+        ("bf16_pc3_tr", Box::new(ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16))),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &size in sizes {
+        for (bname, backend) in &backends {
+            for (vname, f) in VARIANTS {
+                let (best, median) = time_cell(*f, backend.as_ref(), size, reps);
+                eprintln!("{size}^3 {bname:>12} {vname:>9}: best {best} ns, median {median} ns");
+                cells.push(Cell {
+                    size,
+                    backend: (*bname).to_string(),
+                    variant: vname,
+                    best_ns: best,
+                    median_ns: median,
+                });
+            }
+        }
+    }
+
+    // Hand-rolled JSON (no serde in the offline container).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"daism-bench-gemm/1\",\n");
+    json.push_str("  \"emitter\": \"bench_gemm_json\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"threads\": {},\n", rayon_threads()));
+    json.push_str(&format!("  \"reps_per_cell\": {reps},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let reference = cells
+            .iter()
+            .find(|c| c.size == cell.size && c.backend == cell.backend && c.variant == "reference")
+            .map(|c| c.best_ns)
+            .unwrap_or(0);
+        let tiled = cells
+            .iter()
+            .find(|c| c.size == cell.size && c.backend == cell.backend && c.variant == "tiled")
+            .map(|c| c.best_ns)
+            .unwrap_or(0);
+        let speedup = |base: u128| {
+            if cell.best_ns == 0 {
+                0.0
+            } else {
+                base as f64 / cell.best_ns as f64
+            }
+        };
+        json.push_str(&format!(
+            "    {{\"size\": {}, \"backend\": \"{}\", \"variant\": \"{}\", \
+             \"best_ns\": {}, \"median_ns\": {}, \
+             \"speedup_vs_reference\": {:.3}, \"speedup_vs_tiled\": {:.3}}}{}\n",
+            cell.size,
+            json_escape(&cell.backend),
+            cell.variant,
+            cell.best_ns,
+            cell.median_ns,
+            speedup(reference),
+            speedup(tiled),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}
+
+fn rayon_threads() -> usize {
+    rayon::current_num_threads()
+}

@@ -1,7 +1,65 @@
 use crate::config::{MultiplierConfig, OperandMode};
 use crate::mantissa::MantissaMultiplier;
-use daism_num::{bits, FpClass, FpFormat, FpScalar};
+use daism_num::{bits, encode_normal_f32, FpClass, FpFormat, FpScalar};
 use std::fmt;
+
+/// A B row-panel pre-decoded for repeated [`ScalarMul::mul_prepared`]
+/// calls — the operand-conversion work the GEMM engine hoists out of the
+/// MAC loop entirely (one decode per panel *element*, reused by every C
+/// row that consumes the panel).
+///
+/// Produced by [`ScalarMul::prepare_panel`]; the cached representation
+/// is backend-specific (nothing for native `f32`, quantized operands for
+/// [`QuantizedExactMul`], decoded sign/exponent/mantissa fields for
+/// [`ApproxFpMul`]), but every panel also keeps the raw `f32` values so
+/// any backend can fall back to its [`mul_rows`](ScalarMul::mul_rows)
+/// semantics — feeding a panel to a *different* backend is therefore
+/// still correct, just unaccelerated.
+#[derive(Debug, Clone)]
+pub struct PreparedPanel {
+    raw: Vec<f32>,
+    data: PanelData,
+}
+
+#[derive(Debug, Clone)]
+enum PanelData {
+    /// No per-element cache; `mul_prepared` falls back to `mul_rows` on
+    /// the raw values (the trait default, and native-`f32` backends).
+    Raw,
+    /// [`QuantizedExactMul`]: operands quantized into `format` once,
+    /// held as the exact `f64` the per-element multiply consumes.
+    Quantized { format: FpFormat, vals: Vec<f64> },
+    /// [`ApproxFpMul`]: operands decoded into `format` once — the
+    /// LUT-ready mantissa plus the exponent/sign the combiner needs.
+    Decoded { format: FpFormat, elems: Vec<DecodedOperand> },
+}
+
+/// One decoded panel element: exactly the fields of
+/// [`FpScalar`] that the approximate multiply pipeline reads per MAC.
+#[derive(Debug, Clone, Copy)]
+struct DecodedOperand {
+    man: u64,
+    exp: i32,
+    sign: bool,
+    class: FpClass,
+}
+
+impl PreparedPanel {
+    /// Number of elements in the panel.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// `true` if the panel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The raw (undecoded) panel values.
+    pub fn raw(&self) -> &[f32] {
+        &self.raw
+    }
+}
 
 /// A scalar multiplication backend: the seam through which the DNN crates
 /// and the architecture model plug in exact or approximate arithmetic.
@@ -51,6 +109,41 @@ pub trait ScalarMul: fmt::Debug + Send + Sync {
                 *cv += self.mul(a, *bv);
             }
         }
+    }
+
+    /// Decodes a B row-panel once, ahead of many
+    /// [`mul_prepared`](Self::mul_prepared) calls against it.
+    ///
+    /// This is the second amortisation rung above
+    /// [`mul_rows`](Self::mul_rows): `mul_rows` hoists the *A*-operand
+    /// work out of the panel loop, `prepare_panel` hoists the *B*-operand
+    /// decode out of the row loop entirely — the tiled GEMM engine
+    /// prepares each packed `KC×NC` B-panel once and reuses it for every
+    /// C row of the tile, so the per-MAC `FpScalar::from_f32` disappears.
+    ///
+    /// The default keeps only the raw values (correct for every backend);
+    /// approximate backends override it to cache decoded
+    /// sign/exponent/mantissa fields.
+    fn prepare_panel(&self, b: &[f32]) -> PreparedPanel {
+        PreparedPanel { raw: b.to_vec(), data: PanelData::Raw }
+    }
+
+    /// [`mul_rows`](Self::mul_rows) against a panel prepared by
+    /// [`prepare_panel`](Self::prepare_panel): `c[j] += mul(a, b[j])` for
+    /// every `j` with `b[j] != 0.0`, with the same zero-bypass contract —
+    /// and the same **bit-identity requirement**: for any panel, the
+    /// result must equal `mul_rows(a, panel.raw(), c)` exactly (the
+    /// equivalence tests and the differential GEMM suite enforce this).
+    ///
+    /// A panel prepared by a *different* backend (or the trait default)
+    /// falls back to the raw values, so it is still correct — just not
+    /// accelerated.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `panel.len() != c.len()`.
+    fn mul_prepared(&self, a: f32, panel: &PreparedPanel, c: &mut [f32]) {
+        self.mul_rows(a, panel.raw(), c);
     }
 }
 
@@ -120,6 +213,30 @@ impl ScalarMul for QuantizedExactMul {
         for (cv, bv) in c.iter_mut().zip(b) {
             if *bv != 0.0 {
                 let yq = FpScalar::from_f32(*bv, self.format).to_f64();
+                *cv += FpScalar::from_f32((xq * yq) as f32, self.format).to_f32();
+            }
+        }
+    }
+
+    fn prepare_panel(&self, b: &[f32]) -> PreparedPanel {
+        let vals = b.iter().map(|&bv| FpScalar::from_f32(bv, self.format).to_f64()).collect();
+        PreparedPanel { raw: b.to_vec(), data: PanelData::Quantized { format: self.format, vals } }
+    }
+
+    fn mul_prepared(&self, a: f32, panel: &PreparedPanel, c: &mut [f32]) {
+        let PanelData::Quantized { format, vals } = &panel.data else {
+            return self.mul_rows(a, panel.raw(), c);
+        };
+        if *format != self.format {
+            return self.mul_rows(a, panel.raw(), c);
+        }
+        debug_assert_eq!(panel.len(), c.len(), "panel length mismatch");
+        // The cached `yq` is exactly the value `mul_rows` re-derives per
+        // element; only the result quantization (which depends on `a`)
+        // remains in the loop.
+        let xq = FpScalar::from_f32(a, self.format).to_f64();
+        for ((cv, bv), yq) in c.iter_mut().zip(panel.raw()).zip(vals) {
+            if *bv != 0.0 {
                 *cv += FpScalar::from_f32((xq * yq) as f32, self.format).to_f32();
             }
         }
@@ -284,12 +401,19 @@ impl ApproxFpMul {
     /// `self.fast_f32` (checked by the caller).
     #[inline]
     fn combine_raw_to_f32(&self, x: &FpScalar, y: &FpScalar, raw: u64) -> f32 {
-        let sign = x.sign() ^ y.sign();
+        self.fuse_combine(x.sign() ^ y.sign(), x.exponent() + y.exponent(), raw)
+    }
+
+    /// The parts-level core of [`combine_raw_to_f32`](Self::combine_raw_to_f32):
+    /// takes the already-XORed sign and already-summed exponent, so the
+    /// prepared-panel path can feed cached fields without materialising
+    /// `FpScalar`s. Only valid when `self.fast_f32` (checked by callers).
+    #[inline]
+    fn fuse_combine(&self, sign: bool, exp_sum: i32, raw: u64) -> f32 {
         if raw == 0 {
             return if sign { -0.0 } else { 0.0 };
         }
         let n = self.format.mantissa_width();
-        let exp_sum = x.exponent() + y.exponent();
         let (man, exp) = if self.mult.config().truncate {
             if bits::bit(raw, n - 1) {
                 (raw, exp_sum + 1)
@@ -301,18 +425,9 @@ impl ApproxFpMul {
         } else {
             ((raw >> (n - 1)) & bits::mask(n), exp_sum)
         };
-        // `from_parts` enforces this in the slow path; keep the same
-        // release-mode guarantee here.
-        assert!(bits::bit(man, n - 1), "normalised mantissa must have its leading one");
-        if exp > self.format.max_exp() {
-            return if sign { f32::NEG_INFINITY } else { f32::INFINITY };
-        }
-        if exp < self.format.min_exp() {
-            return if sign { -0.0 } else { 0.0 };
-        }
-        // value = 1.frac · 2^exp with ≤ 23 fraction bits: exact in f32.
-        let frac = ((man & bits::mask(n - 1)) as u32) << (24 - n);
-        f32::from_bits(((sign as u32) << 31) | (((exp + 127) as u32) << 23) | frac)
+        // `encode_normal_f32` asserts the leading one (the `from_parts`
+        // contract) and applies the identical saturation/flush rules.
+        encode_normal_f32(sign, exp, man, self.format)
     }
 }
 
@@ -371,6 +486,70 @@ impl ScalarMul for ApproxFpMul {
                 self.mul_scalars(&xs, &ys)
             };
             *cv += product.to_f32();
+        }
+    }
+
+    fn prepare_panel(&self, b: &[f32]) -> PreparedPanel {
+        if !self.fast_f32 {
+            // Exotic formats stay on the FpScalar path; nothing cheap to
+            // cache, so keep the raw fallback.
+            return PreparedPanel { raw: b.to_vec(), data: PanelData::Raw };
+        }
+        let elems = b
+            .iter()
+            .map(|&bv| {
+                let ys = FpScalar::from_f32(bv, self.format);
+                if ys.class() == FpClass::Normal {
+                    DecodedOperand {
+                        man: ys.mantissa(),
+                        exp: ys.exponent(),
+                        sign: ys.sign(),
+                        class: FpClass::Normal,
+                    }
+                } else {
+                    // man/exp are never read for non-normal elements; the
+                    // per-element multiply re-derives the scalar then.
+                    DecodedOperand { man: 0, exp: 0, sign: ys.sign(), class: ys.class() }
+                }
+            })
+            .collect();
+        PreparedPanel { raw: b.to_vec(), data: PanelData::Decoded { format: self.format, elems } }
+    }
+
+    fn mul_prepared(&self, a: f32, panel: &PreparedPanel, c: &mut [f32]) {
+        let PanelData::Decoded { format, elems } = &panel.data else {
+            return self.mul_rows(a, panel.raw(), c);
+        };
+        if *format != self.format || !self.fast_f32 {
+            return self.mul_rows(a, panel.raw(), c);
+        }
+        debug_assert_eq!(panel.len(), c.len(), "panel length mismatch");
+        let xs = FpScalar::from_f32(a, self.format);
+        if xs.class() != FpClass::Normal {
+            // Zero / NaN / Inf multiplicand: rare, exact side logic.
+            for (cv, bv) in c.iter_mut().zip(panel.raw()) {
+                if *bv != 0.0 {
+                    *cv += self.mul_scalars(&xs, &FpScalar::from_f32(*bv, self.format)).to_f32();
+                }
+            }
+            return;
+        }
+        // Per-call work: one decode of `a` and one line-pattern (or table
+        // row) derivation. Per-MAC work: a LUT/OR read plus the fused
+        // combine — every cached field is exactly what `mul_rows` would
+        // re-derive, so results stay bit-identical.
+        let prep = self.mult.prepare(xs.mantissa());
+        let (xsign, xexp) = (xs.sign(), xs.exponent());
+        for ((cv, bv), d) in c.iter_mut().zip(panel.raw()).zip(elems) {
+            if *bv == 0.0 {
+                continue; // zero bypass (§III-C) — never touches the array
+            }
+            *cv += if d.class == FpClass::Normal {
+                let raw = self.mult.multiply_prepared_trusted(&prep, d.man);
+                self.fuse_combine(xsign ^ d.sign, xexp + d.exp, raw)
+            } else {
+                self.mul_scalars(&xs, &FpScalar::from_f32(*bv, self.format)).to_f32()
+            };
         }
     }
 }
@@ -596,6 +775,101 @@ mod tests {
             assert_mul_rows_matches_mul(&ApproxFpMul::new(config, FpFormat::BF16));
             assert_mul_rows_matches_mul(&ApproxFpMul::new(config, FpFormat::FP32));
             assert_mul_rows_matches_mul(&ApproxFpMul::new(config, FpFormat::FP16));
+        }
+    }
+
+    /// `prepare_panel` + `mul_prepared` must be element-wise bit-identical
+    /// to `mul_rows` on the same panel — the contract the prepared-panel
+    /// GEMM engine is built on. Exercised over the full edge-value grid
+    /// (zeros, subnormals, infinities, NaN) and a dense magnitude sweep.
+    fn assert_prepared_matches_mul_rows(m: &dyn ScalarMul, bs: &[f32], as_: &[f32]) {
+        let panel = m.prepare_panel(bs);
+        assert_eq!(panel.len(), bs.len());
+        assert_eq!(panel.is_empty(), bs.is_empty());
+        for (p, b) in panel.raw().iter().zip(bs) {
+            assert_eq!(p.to_bits(), b.to_bits(), "{}: raw values must round-trip", m.name());
+        }
+        for &a in as_ {
+            let mut plain = vec![0.0f32; bs.len()];
+            let mut prepared = vec![0.0f32; bs.len()];
+            m.mul_rows(a, bs, &mut plain);
+            m.mul_prepared(a, &panel, &mut prepared);
+            for (j, (p, q)) in plain.iter().zip(&prepared).enumerate() {
+                assert!(
+                    p.to_bits() == q.to_bits() || (p.is_nan() && q.is_nan()),
+                    "{}: a={a}, b={}: mul_rows {p} vs mul_prepared {q}",
+                    m.name(),
+                    bs[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_panel_matches_mul_rows_for_every_backend() {
+        let edges = edge_values();
+        let mut dense = Vec::new();
+        let mut v = 1.07e-30f32;
+        while v < 1e30 {
+            dense.push(v);
+            dense.push(-v);
+            v *= 3.9;
+        }
+        let backends: Vec<Box<dyn ScalarMul>> = {
+            let mut v: Vec<Box<dyn ScalarMul>> = vec![
+                Box::new(ExactMul),
+                Box::new(QuantizedExactMul::new(FpFormat::BF16)),
+                Box::new(QuantizedExactMul::new(FpFormat::FP32)),
+            ];
+            for config in MultiplierConfig::ALL {
+                v.push(Box::new(ApproxFpMul::new(config, FpFormat::BF16)));
+                v.push(Box::new(ApproxFpMul::new(config, FpFormat::FP16)));
+                v.push(Box::new(ApproxFpMul::new(config, FpFormat::FP32)));
+            }
+            v
+        };
+        for m in &backends {
+            assert_prepared_matches_mul_rows(m.as_ref(), &edges, &edges);
+            assert_prepared_matches_mul_rows(m.as_ref(), &dense, &[0.37, -11.0, 1.0, 255.4]);
+            assert_prepared_matches_mul_rows(m.as_ref(), &[], &[1.5]);
+        }
+    }
+
+    #[test]
+    fn foreign_panels_fall_back_correctly() {
+        // A panel prepared by one backend fed to another must still match
+        // the consumer's own `mul_rows` semantics (unaccelerated path).
+        let bs = edge_values();
+        let preparers: Vec<Box<dyn ScalarMul>> = vec![
+            Box::new(ExactMul),
+            Box::new(QuantizedExactMul::new(FpFormat::BF16)),
+            Box::new(pc3tr_bf16()),
+            Box::new(ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::FP16)),
+        ];
+        let consumers: Vec<Box<dyn ScalarMul>> = vec![
+            Box::new(ExactMul),
+            Box::new(QuantizedExactMul::new(FpFormat::FP32)),
+            Box::new(pc3tr_bf16()),
+            Box::new(ApproxFpMul::new(MultiplierConfig::PC2, FpFormat::BF16)),
+        ];
+        for preparer in &preparers {
+            let panel = preparer.prepare_panel(&bs);
+            for consumer in &consumers {
+                for &a in &[1.5f32, -0.37, 0.0] {
+                    let mut plain = vec![0.0f32; bs.len()];
+                    let mut prepared = vec![0.0f32; bs.len()];
+                    consumer.mul_rows(a, &bs, &mut plain);
+                    consumer.mul_prepared(a, &panel, &mut prepared);
+                    for (p, q) in plain.iter().zip(&prepared) {
+                        assert!(
+                            p.to_bits() == q.to_bits() || (p.is_nan() && q.is_nan()),
+                            "panel from {} into {}: a={a}: {p} vs {q}",
+                            preparer.name(),
+                            consumer.name()
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -7,19 +7,30 @@
 //!
 //! `C[m×n] += A[m×k] · B[k×n]` (row-major) with every scalar product
 //! routed through a [`ScalarMul`] backend and accumulation at `f32`.
-//! Three layers of structure:
+//! Four layers of structure:
 //!
-//! 1. **Batched backend calls** — the inner loop issues one
-//!    [`ScalarMul::mul_rows`] per (A-element, B-row-panel) pair instead
-//!    of a virtual call per scalar, letting backends hoist operand
-//!    decode and line-pattern derivation out of the panel loop (and the
+//! 1. **Pre-decoded B panels** — each packed `KC×NC` B-panel is decoded
+//!    **once per tile** via [`ScalarMul::prepare_panel`] and consumed by
+//!    [`ScalarMul::mul_prepared`] for every C row of the tile, so the
+//!    per-MAC `FpScalar::from_f32` disappears from approximate backends
+//!    entirely (and [`QuantizedExactMul`](crate::QuantizedExactMul)
+//!    skips its per-MAC operand quantization). The native-`f32` backend
+//!    keeps its fused branchless FMA path instead — a panel copy would
+//!    only add memory traffic there.
+//! 2. **Batched backend calls** — the inner loop issues one panel call
+//!    per (A-element, B-row-panel) pair instead of a virtual call per
+//!    scalar, letting backends hoist A-operand decode and line-pattern
+//!    derivation out of the panel loop (and the
 //!    [`MantissaMultiplier`](crate::MantissaMultiplier) serve products
 //!    from its memoized table).
-//! 2. **Cache blocking** — `KC`-deep × `NC`-wide blocks keep the active
-//!    B panel and C row segment resident while A elements stream.
-//! 3. **Row-panel parallelism** — `MC`-row panels of C are distributed
-//!    over threads (rayon); panels write disjoint C regions, so results
-//!    never depend on scheduling.
+//! 3. **Cache blocking** — `KC`-deep × `NC`-wide blocks keep the active
+//!    (prepared) B panel and C row segment resident while A elements
+//!    stream.
+//! 4. **Row-panel parallelism** — row panels of C are distributed over
+//!    the persistent worker pool (rayon); prepared B panels are shared
+//!    read-only across threads, so B is decoded once per tile *per
+//!    GEMM*, not per thread. Panels write disjoint C regions, so
+//!    results never depend on scheduling.
 //!
 //! # Bit-exactness
 //!
@@ -35,18 +46,23 @@
 //! the `±0.0` product because a `+0.0` accumulator absorbs signed
 //! zeros.
 
+use crate::fp::PreparedPanel;
 use crate::ScalarMul;
 use rayon::prelude::*;
 
-/// Rows of C per parallel panel.
+/// Rows of C per parallel panel (upper bound; small problems split
+/// finer so every worker gets rows).
 const MC: usize = 32;
 /// Depth (k) block: B rows resident per pass.
 const KC: usize = 256;
 /// Column block: B row-segment / C row-segment width per pass.
 const NC: usize = 1024;
-/// Minimum MAC count before worker threads are engaged; below this the
-/// serial tiled kernel always wins.
-const PAR_MIN_MACS: usize = 1 << 16;
+/// Minimum MAC count before worker threads are engaged. With the
+/// persistent pool (vendor/rayon) dispatch costs a queue push + condvar
+/// wake rather than a thread spawn, so the gate sits far lower than the
+/// old per-call-spawn polyfill allowed — small conv layers and error
+/// sweeps parallelise too.
+const PAR_MIN_MACS: usize = 1 << 14;
 
 fn check_shapes(a: &[f32], b: &[f32], c: &[f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "A has wrong length");
@@ -89,14 +105,16 @@ pub fn gemm_reference(
 }
 
 /// `C[m×n] += A[m×k] · B[k×n]` (row-major) through the tiled,
-/// cache-blocked, parallel engine — bit-identical to
+/// cache-blocked, pre-decoded, parallel engine — bit-identical to
 /// [`gemm_reference`], much faster.
 ///
-/// Small problems (under ~64k MACs) run the serial tiled kernel;
-/// larger ones are split into `MC`-row C panels processed across
-/// threads. Either way the per-element accumulation order is
-/// ascending-`k`, so the result does not depend on problem size or
-/// thread count.
+/// Approximate/quantized backends take the prepared-panel path (each
+/// `KC×NC` B-panel decoded once, shared across rows and threads);
+/// native-`f32` backends keep their fused FMA path. Small problems
+/// (under ~16k MACs) run serially; larger ones split C row panels
+/// across the persistent worker pool. Either way the per-element
+/// accumulation order is ascending-`k`, so the result does not depend
+/// on problem size or thread count.
 ///
 /// # Panics
 ///
@@ -127,20 +145,31 @@ pub fn gemm(
         return; // nothing to accumulate
     }
     let macs = m.saturating_mul(k).saturating_mul(n);
-    if m > MC && macs >= PAR_MIN_MACS {
-        c.par_chunks_mut(MC * n).enumerate().for_each(|(panel, cpanel)| {
-            let i0 = panel * MC;
-            let rows = cpanel.len() / n;
-            panel_kernel(mul, &a[i0 * k..(i0 + rows) * k], b, cpanel, rows, k, n);
-        });
+    let threads = rayon::current_num_threads();
+    if m > 1 && threads > 1 && macs >= PAR_MIN_MACS {
+        // Split C into row chunks sized so every worker gets a share,
+        // capped at MC rows for cache residency.
+        let chunk_rows = MC.min(m.div_ceil(threads)).max(1);
+        if mul.is_native_f32() {
+            c.par_chunks_mut(chunk_rows * n).enumerate().for_each(|(panel, cpanel)| {
+                let i0 = panel * chunk_rows;
+                let rows = cpanel.len() / n;
+                fused_kernel(mul, &a[i0 * k..(i0 + rows) * k], b, cpanel, rows, k, n);
+            });
+        } else {
+            prepared_parallel(mul, a, b, c, k, n, chunk_rows);
+        }
+    } else if mul.is_native_f32() {
+        fused_kernel(mul, a, b, c, m, k, n);
     } else {
-        panel_kernel(mul, a, b, c, m, k, n);
+        prepared_kernel(mul, a, b, c, k, n);
     }
 }
 
-/// The tiled kernel run serially on the full problem, regardless of
-/// size. Exposed for the criterion benches so the tiling win and the
-/// threading win can be tracked separately; prefer [`gemm`] everywhere
+/// The PR-1 tiled kernel run serially on the full problem (per-call
+/// `mul_rows` batching, no panel pre-decode). Exposed for the criterion
+/// benches and the `BENCH_gemm.json` emitter so the pre-decode win is
+/// tracked separately from the tiling win; prefer [`gemm`] everywhere
 /// else.
 ///
 /// # Panics
@@ -159,14 +188,40 @@ pub fn gemm_tiled_serial(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    panel_kernel(mul, a, b, c, m, k, n);
+    fused_kernel(mul, a, b, c, m, k, n);
 }
 
-/// `KC × NC`-blocked kernel over one panel of `rows` C rows.
+/// The prepared-panel tiled kernel run serially on the full problem,
+/// regardless of size or backend. Exposed so the single-core pre-decode
+/// speedup over [`gemm_tiled_serial`] is benchmarkable in isolation;
+/// prefer [`gemm`] everywhere else.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape.
+pub fn gemm_prepared_serial(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_shapes(a, b, c, m, k, n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    prepared_kernel(mul, a, b, c, k, n);
+}
+
+/// `KC × NC`-blocked kernel over `rows` C rows, one [`ScalarMul::mul_rows`]
+/// per (A-element, B-row-segment) pair — the fused path for native-`f32`
+/// backends (and the PR-1 baseline for all others).
 ///
 /// Per output element, the `k` loop advances in ascending order across
 /// and within blocks — the bit-exactness invariant.
-fn panel_kernel(
+fn fused_kernel(
     mul: &dyn ScalarMul,
     a: &[f32],
     b: &[f32],
@@ -189,6 +244,98 @@ fn panel_kernel(
                     mul.mul_rows(av, &b[l * n + j0..l * n + j1], crow);
                 }
             }
+        }
+    }
+}
+
+/// One `KC × NC` block of the B matrix: depth rows `[l0, l1)` crossed
+/// with columns `[j0, j1)`.
+#[derive(Clone, Copy)]
+struct Tile {
+    l0: usize,
+    l1: usize,
+    j0: usize,
+    j1: usize,
+}
+
+/// Decodes the B row-segments of `tile` into prepared panels, one per B
+/// row.
+fn prepare_block(mul: &dyn ScalarMul, b: &[f32], n: usize, tile: Tile) -> Vec<PreparedPanel> {
+    (tile.l0..tile.l1).map(|l| mul.prepare_panel(&b[l * n + tile.j0..l * n + tile.j1])).collect()
+}
+
+/// Runs the MAC loops of one tile over the C rows in `c` against
+/// already-prepared B panels. `a` is the full `rows × k` A slab for
+/// these rows; `c` the full `rows × n` C slab (row count inferred).
+fn block_rows(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    panels: &[PreparedPanel],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    tile: Tile,
+) {
+    let rows = c.len() / n;
+    for r in 0..rows {
+        let arow = &a[r * k..(r + 1) * k];
+        let crow = &mut c[r * n + tile.j0..r * n + tile.j1];
+        for (dl, panel) in panels.iter().enumerate() {
+            let av = arow[tile.l0 + dl];
+            if av == 0.0 {
+                continue; // zero bypass, as the hardware does
+            }
+            mul.mul_prepared(av, panel, crow);
+        }
+    }
+}
+
+/// Serial prepared-panel kernel: each `KC × NC` B block is decoded once
+/// and reused for every C row.
+fn prepared_kernel(mul: &dyn ScalarMul, a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {
+    for j0 in (0..n).step_by(NC) {
+        let j1 = (j0 + NC).min(n);
+        for l0 in (0..k).step_by(KC) {
+            let tile = Tile { l0, l1: (l0 + KC).min(k), j0, j1 };
+            let panels = prepare_block(mul, b, n, tile);
+            block_rows(mul, a, &panels, c, k, n, tile);
+        }
+    }
+}
+
+/// Parallel prepared-panel path: panel decode itself is parallelised
+/// (one block of B rows per work item), then the decoded panels are
+/// shared read-only across the C row chunks — B is decoded exactly once
+/// per GEMM, not once per thread.
+fn prepared_parallel(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    chunk_rows: usize,
+) {
+    for j0 in (0..n).step_by(NC) {
+        let j1 = (j0 + NC).min(n);
+        for l0 in (0..k).step_by(KC) {
+            let tile = Tile { l0, l1: (l0 + KC).min(k), j0, j1 };
+            // Decode this block's panels across the pool (panel order is
+            // positional, so scheduling cannot affect results).
+            let mut panels: Vec<Option<PreparedPanel>> = (tile.l0..tile.l1).map(|_| None).collect();
+            panels.par_chunks_mut(8).enumerate().for_each(|(pi, slots)| {
+                for (s, slot) in slots.iter_mut().enumerate() {
+                    let l = tile.l0 + pi * 8 + s;
+                    *slot = Some(mul.prepare_panel(&b[l * n + tile.j0..l * n + tile.j1]));
+                }
+            });
+            let panels: Vec<PreparedPanel> =
+                panels.into_iter().map(|p| p.expect("panel decoded")).collect();
+            c.par_chunks_mut(chunk_rows * n).enumerate().for_each(|(panel_idx, cpanel)| {
+                let i0 = panel_idx * chunk_rows;
+                let rows = cpanel.len() / n;
+                block_rows(mul, &a[i0 * k..(i0 + rows) * k], &panels, cpanel, k, n, tile);
+            });
         }
     }
 }
@@ -216,10 +363,10 @@ mod tests {
         let a = test_matrix(m * k, 1);
         let b = test_matrix(k * n, 2);
         let mut reference = vec![0.0f32; m * n];
-        let mut tiled = vec![0.0f32; m * n];
+        let mut engine = vec![0.0f32; m * n];
         gemm_reference(mul, &a, &b, &mut reference, m, k, n);
-        gemm(mul, &a, &b, &mut tiled, m, k, n);
-        for (i, (r, t)) in reference.iter().zip(&tiled).enumerate() {
+        gemm(mul, &a, &b, &mut engine, m, k, n);
+        for (i, (r, t)) in reference.iter().zip(&engine).enumerate() {
             assert_eq!(
                 r.to_bits(),
                 t.to_bits(),
@@ -232,10 +379,15 @@ mod tests {
         for (r, s) in reference.iter().zip(&serial) {
             assert_eq!(r.to_bits(), s.to_bits(), "serial tiled diverged");
         }
+        let mut prepared = vec![0.0f32; m * n];
+        gemm_prepared_serial(mul, &a, &b, &mut prepared, m, k, n);
+        for (r, s) in reference.iter().zip(&prepared) {
+            assert_eq!(r.to_bits(), s.to_bits(), "serial prepared diverged");
+        }
     }
 
     #[test]
-    fn tiled_matches_reference_small_and_parallel_sizes() {
+    fn engine_matches_reference_small_and_parallel_sizes() {
         let pc3 = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
         for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (33, 17, 9), (70, 40, 48)] {
             assert_bit_identical(&ExactMul, m, k, n);
@@ -275,5 +427,18 @@ mod tests {
         let mul = ApproxFpMul::new(MultiplierConfig::PC2_TR, FpFormat::BF16);
         assert_bit_identical(&mul, 2, KC + 3, 5);
         assert_bit_identical(&ExactMul, 2, 3, NC + 9);
+        assert_bit_identical(&mul, 2, 3, NC + 9);
+    }
+
+    #[test]
+    fn parallel_path_engages_above_gate() {
+        // 64x32x32 = 65536 MACs clears PAR_MIN_MACS with m > 1: the
+        // prepared-parallel path (approx) and fused-parallel path (exact)
+        // both run; results still bit-match the reference.
+        let mul = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+        assert_bit_identical(&mul, 64, 32, 32);
+        assert_bit_identical(&ExactMul, 64, 32, 32);
+        // And a shape whose rows don't divide evenly by the chunk size.
+        assert_bit_identical(&mul, 37, 24, 40);
     }
 }

@@ -72,8 +72,8 @@ mod sram_backed;
 
 pub use config::{MultiplierConfig, MultiplierKind, OperandMode};
 pub use error::CoreError;
-pub use fp::{ApproxFpMul, ExactMul, QuantizedExactMul, ScalarMul};
-pub use gemm::{gemm, gemm_reference, gemm_tiled_serial};
+pub use fp::{ApproxFpMul, ExactMul, PreparedPanel, QuantizedExactMul, ScalarMul};
+pub use gemm::{gemm, gemm_prepared_serial, gemm_reference, gemm_tiled_serial};
 pub use lines::{LineLayout, LineSpec};
 pub use mantissa::{exact_mul, MantissaMultiplier, PreparedMultiplicand};
 pub use sram_backed::SramMultiplier;

@@ -1,20 +1,24 @@
-//! Differential property suite: the tiled + parallel GEMM engine must be
-//! **bit-identical** to the scalar reference for every backend, every
-//! multiplier configuration and every shape — including degenerate ones.
+//! Differential property suite: the tiled, prepared-panel, parallel GEMM
+//! engine must be **bit-identical** to the scalar reference for every
+//! backend, every multiplier configuration, every mantissa width and
+//! every shape — including degenerate ones.
 //!
 //! This is the contract that makes the engine a pure speed refactor: any
-//! divergence in accumulation order, zero-bypass handling or backend
-//! batching shows up here as a failing bit comparison.
+//! divergence in accumulation order, zero-bypass handling, backend
+//! batching or panel pre-decode shows up here as a failing bit
+//! comparison.
 
 use daism_core::{
-    gemm, gemm_reference, gemm_tiled_serial, ApproxFpMul, ExactMul, MultiplierConfig,
-    QuantizedExactMul, ScalarMul,
+    gemm, gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, ExactMul,
+    MultiplierConfig, QuantizedExactMul, ScalarMul,
 };
 use daism_num::FpFormat;
 use proptest::prelude::*;
 
 /// All backends under test: exact, quantized-exact, and the approximate
-/// pipeline over FLA/PC2/PC3 × truncation × both paper formats.
+/// pipeline over FLA/PC2/PC3 × truncation × every mantissa width the
+/// predefined formats span (8-bit bf16 through 24-bit fp32, including
+/// the no-LUT wide-mantissa path).
 fn backends() -> Vec<Box<dyn ScalarMul>> {
     let mut v: Vec<Box<dyn ScalarMul>> = vec![
         Box::new(ExactMul),
@@ -24,7 +28,10 @@ fn backends() -> Vec<Box<dyn ScalarMul>> {
     for config in MultiplierConfig::ALL {
         v.push(Box::new(ApproxFpMul::new(config, FpFormat::BF16)));
     }
-    // One wide-mantissa (no-LUT, prepared-pattern) representative.
+    // Wider-mantissa representatives: fp16 (11 bits, no LUT), tf32
+    // (11 bits), fp32 (24 bits) — the prepared-pattern OR path.
+    v.push(Box::new(ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::FP16)));
+    v.push(Box::new(ApproxFpMul::new(MultiplierConfig::PC2, FpFormat::TF32)));
     v.push(Box::new(ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::FP32)));
     v
 }
@@ -38,16 +45,18 @@ fn assert_all_backends_bit_identical(
 ) -> Result<(), TestCaseError> {
     for mul in backends() {
         let mut reference = vec![0.0f32; m * n];
-        let mut tiled = vec![0.0f32; m * n];
+        let mut engine = vec![0.0f32; m * n];
         let mut serial = vec![0.0f32; m * n];
+        let mut prepared = vec![0.0f32; m * n];
         gemm_reference(mul.as_ref(), a, b, &mut reference, m, k, n);
-        gemm(mul.as_ref(), a, b, &mut tiled, m, k, n);
+        gemm(mul.as_ref(), a, b, &mut engine, m, k, n);
         gemm_tiled_serial(mul.as_ref(), a, b, &mut serial, m, k, n);
-        for (i, (r, t)) in reference.iter().zip(&tiled).enumerate() {
+        gemm_prepared_serial(mul.as_ref(), a, b, &mut prepared, m, k, n);
+        for (i, (r, t)) in reference.iter().zip(&engine).enumerate() {
             prop_assert_eq!(
                 r.to_bits(),
                 t.to_bits(),
-                "{} {}x{}x{} element {}: reference {} vs tiled {}",
+                "{} {}x{}x{} element {}: reference {} vs engine {}",
                 mul.name(),
                 m,
                 k,
@@ -62,6 +71,20 @@ fn assert_all_backends_bit_identical(
                 r.to_bits(),
                 s.to_bits(),
                 "{} {}x{}x{} element {}: reference {} vs serial-tiled {}",
+                mul.name(),
+                m,
+                k,
+                n,
+                i,
+                r,
+                s
+            );
+        }
+        for (i, (r, s)) in reference.iter().zip(&prepared).enumerate() {
+            prop_assert_eq!(
+                r.to_bits(),
+                s.to_bits(),
+                "{} {}x{}x{} element {}: reference {} vs prepared-panel {}",
                 mul.name(),
                 m,
                 k,
@@ -119,10 +142,10 @@ proptest! {
             Box::new(ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::BF16)),
         ] {
             let mut reference = vec![0.0f32; m * n];
-            let mut tiled = vec![0.0f32; m * n];
+            let mut engine = vec![0.0f32; m * n];
             gemm_reference(mul.as_ref(), &a, &b, &mut reference, m, k, n);
-            gemm(mul.as_ref(), &a, &b, &mut tiled, m, k, n);
-            for (r, t) in reference.iter().zip(&tiled) {
+            gemm(mul.as_ref(), &a, &b, &mut engine, m, k, n);
+            for (r, t) in reference.iter().zip(&engine) {
                 prop_assert_eq!(r.to_bits(), t.to_bits(), "{} diverged at {}x{}x{}",
                     mul.name(), m, k, n);
             }

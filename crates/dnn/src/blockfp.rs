@@ -61,22 +61,34 @@ pub fn blockfp_gemm(
     let ma = block_a.mantissas();
     let mb = block_b.mantissas();
     let mut out = vec![0f32; m * n];
+    // Row-panel loop order (i, l, j) with the multiplicand pre-bound per
+    // (i, l): the line-pattern / table-row derivation is hoisted out of
+    // the inner j loop, mirroring the prepared-panel float engine. The
+    // i64 accumulator is exact, so reassociating the k loop cannot
+    // change a single output bit relative to the (i, j, l) order.
+    let mut accs: Vec<i64> = vec![0; n];
     for i in 0..m {
-        for j in 0..n {
-            let mut acc: i64 = 0;
-            for l in 0..k {
-                let x = ma[i * k + l];
-                let y = mb[l * n + j];
-                if x == 0 || y == 0 {
+        accs.iter_mut().for_each(|a| *a = 0);
+        for l in 0..k {
+            let x = ma[i * k + l];
+            if x == 0 {
+                continue; // zero bypass
+            }
+            let mag_x = (x.unsigned_abs() as u64).min(mag_limit);
+            let sign_x = x < 0;
+            let prep = mult.prepare(mag_x);
+            for (acc, &y) in accs.iter_mut().zip(&mb[l * n..(l + 1) * n]) {
+                if y == 0 {
                     continue; // zero bypass
                 }
-                let mag_x = (x.unsigned_abs() as u64).min(mag_limit);
                 let mag_y = (y.unsigned_abs() as u64).min(mag_limit);
-                let mag = mult.multiply(mag_x, mag_y) << shift_back;
-                let sign = (x < 0) ^ (y < 0);
-                acc += if sign { -(mag as i64) } else { mag as i64 };
+                let mag = mult.multiply_prepared(&prep, mag_y) << shift_back;
+                let sign = sign_x ^ (y < 0);
+                *acc += if sign { -(mag as i64) } else { mag as i64 };
             }
-            out[i * n + j] = (acc as f64 * scale) as f32;
+        }
+        for (o, &acc) in out[i * n..(i + 1) * n].iter_mut().zip(accs.iter()) {
+            *o = (acc as f64 * scale) as f32;
         }
     }
     out

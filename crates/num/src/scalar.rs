@@ -244,6 +244,44 @@ impl FpScalar {
     }
 }
 
+/// Encodes a normal value — `sign`, unbiased exponent `exp` and a
+/// mantissa `man` carrying its explicit leading one — directly into
+/// `f32` bits, with the saturation/flush behaviour of
+/// [`FpScalar::from_parts`]: exponent overflow returns (signed)
+/// infinity, underflow returns (signed) zero.
+///
+/// This is the fused fast path batched multiply kernels use to skip the
+/// `FpScalar` round-trip (and its `powi`); it is bit-identical to
+/// `FpScalar::from_parts(sign, exp, man, format).to_f32()` whenever the
+/// result is exactly representable — i.e. `format.mantissa_width() <= 24`
+/// and the format's exponent range lies within `f32`'s (`max_exp <= 127`,
+/// `min_exp >= -126`), which holds for every predefined format. Callers
+/// must check those bounds once per configuration, not per call.
+///
+/// # Panics
+///
+/// Panics if `man` is not exactly `format.mantissa_width()` bits wide
+/// with its leading one set (the same contract as
+/// [`FpScalar::from_parts`]).
+#[inline]
+pub fn encode_normal_f32(sign: bool, exp: i32, man: u64, format: FpFormat) -> f32 {
+    let n = format.mantissa_width();
+    debug_assert!(n <= 24 && format.max_exp() <= 127 && format.min_exp() >= -126);
+    assert!(
+        bits::width_of(man) == n,
+        "mantissa {man:#x} must be exactly {n} bits wide with the leading one set"
+    );
+    if exp > format.max_exp() {
+        return if sign { f32::NEG_INFINITY } else { f32::INFINITY };
+    }
+    if exp < format.min_exp() {
+        return if sign { -0.0 } else { 0.0 };
+    }
+    // value = 1.frac · 2^exp with ≤ 23 fraction bits: exact in f32.
+    let frac = ((man & bits::mask(n - 1)) as u32) << (24 - n);
+    f32::from_bits(((sign as u32) << 31) | (((exp + 127) as u32) << 23) | frac)
+}
+
 /// Quantizes `x` through `format` and back to `f32` — the storage round-trip
 /// a value experiences when held in a reduced-precision buffer.
 ///
@@ -376,6 +414,49 @@ mod tests {
     #[should_panic(expected = "leading one")]
     fn from_parts_rejects_missing_leading_one() {
         let _ = FpScalar::from_parts(false, 0, 0b0100_0000, FpFormat::BF16);
+    }
+
+    #[test]
+    fn encode_normal_f32_matches_from_parts_roundtrip() {
+        // Exhaustive over bf16 normals, sampled over fp16/fp32: the fused
+        // encode must agree bit-for-bit with the FpScalar path.
+        for man in 0x80u64..=0xFF {
+            for exp in [-126, -30, -1, 0, 1, 64, 127] {
+                for sign in [false, true] {
+                    let fused = encode_normal_f32(sign, exp, man, FpFormat::BF16);
+                    let slow = FpScalar::from_parts(sign, exp, man, FpFormat::BF16).to_f32();
+                    assert_eq!(fused.to_bits(), slow.to_bits(), "s={sign} e={exp} m={man:#x}");
+                }
+            }
+        }
+        for format in [FpFormat::FP16, FpFormat::FP32, FpFormat::TF32] {
+            let w = format.mantissa_width();
+            for man in [1u64 << (w - 1), (1 << w) - 1, (1 << (w - 1)) | (0x15 % (1 << (w - 1)))] {
+                for exp in [format.min_exp(), -2, 0, 3, format.max_exp()] {
+                    let fused = encode_normal_f32(true, exp, man, format);
+                    let slow = FpScalar::from_parts(true, exp, man, format).to_f32();
+                    assert_eq!(fused.to_bits(), slow.to_bits(), "{format} e={exp} m={man:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_normal_f32_saturates_and_flushes() {
+        let man = 1u64 << 7;
+        assert_eq!(encode_normal_f32(false, 1000, man, FpFormat::BF16), f32::INFINITY);
+        assert_eq!(encode_normal_f32(true, 1000, man, FpFormat::BF16), f32::NEG_INFINITY);
+        assert_eq!(encode_normal_f32(false, -1000, man, FpFormat::BF16).to_bits(), 0f32.to_bits());
+        assert_eq!(
+            encode_normal_f32(true, -1000, man, FpFormat::BF16).to_bits(),
+            (-0.0f32).to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "leading one")]
+    fn encode_normal_f32_rejects_missing_leading_one() {
+        let _ = encode_normal_f32(false, 0, 0b0100_0000, FpFormat::BF16);
     }
 
     #[test]

@@ -3,62 +3,29 @@
 //!
 //! The build container cannot reach a crates registry, so the real rayon
 //! cannot be fetched. This crate provides **genuine multi-threaded**
-//! implementations (scoped `std::thread`, not sequential fallbacks) of:
+//! implementations (a persistent worker pool, not sequential fallbacks)
+//! of:
 //!
 //! * [`prelude::ParallelSliceMut::par_chunks_mut`] with
 //!   `.enumerate()`/`.for_each(..)` — the shape the DAISM GEMM engine
 //!   parallelises row panels with;
 //! * [`join`] — fork-join of two closures;
-//! * [`current_num_threads`] — honours `RAYON_NUM_THREADS`.
+//! * [`current_num_threads`] — honours `RAYON_NUM_THREADS`, re-read on
+//!   every call.
 //!
-//! Threads are spawned per call rather than pooled; callers (the GEMM
-//! engine) gate parallelism by problem size so spawn overhead never
-//! dominates. Splitting is block-wise and deterministic, and every chunk
-//! is a disjoint `&mut` region, so results never depend on scheduling.
+//! Unlike the seed polyfill (which spawned scoped threads per call),
+//! workers live in a lazily-grown process-wide pool (see [`mod@pool`]'s
+//! module docs for the injector/batch design), so dispatch costs a
+//! queue push + condvar wake instead of a thread spawn — cheap enough
+//! for fine-grained work (im2col, error sweeps) to parallelise too.
+//! Splitting is deterministic and every chunk is a disjoint `&mut`
+//! region, so results never depend on scheduling.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::num::NonZeroUsize;
-use std::sync::OnceLock;
+mod pool;
 
-/// Number of worker threads parallel operations will use
-/// (`RAYON_NUM_THREADS` if set and non-zero, else the machine's available
-/// parallelism).
-pub fn current_num_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-            if let Ok(n) = v.parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
-        }
-        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
-    })
-}
-
-/// Runs both closures, potentially in parallel, returning both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    if current_num_threads() <= 1 {
-        let ra = a();
-        let rb = b();
-        return (ra, rb);
-    }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        let rb = hb.join().expect("rayon::join worker panicked");
-        (ra, rb)
-    })
-}
+pub use pool::{current_num_threads, join};
 
 /// A to-be-consumed sequence of disjoint mutable chunks of a slice.
 ///
@@ -74,7 +41,7 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
         EnumeratedParChunksMut { chunks: self.chunks }
     }
 
-    /// Applies `f` to every chunk across worker threads.
+    /// Applies `f` to every chunk across the worker pool.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(&mut [T]) + Sync + Send,
@@ -98,54 +65,19 @@ pub struct EnumeratedParChunksMut<'a, T> {
     chunks: Vec<&'a mut [T]>,
 }
 
-impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
-    /// Applies `f` to every `(index, chunk)` pair across worker threads.
+impl<T: Send> EnumeratedParChunksMut<'_, T> {
+    /// Applies `f` to every `(index, chunk)` pair across the worker pool.
     ///
-    /// Chunks are dealt to `min(num_threads, chunks)` scoped threads in
-    /// contiguous blocks; each chunk is visited exactly once.
+    /// Chunks form a shared work queue that the calling thread and up to
+    /// `current_num_threads() - 1` pool workers pop from until dry;
+    /// each chunk is visited exactly once. A panic in `f` abandons the
+    /// remaining chunks and resurfaces on the calling thread once the
+    /// batch has quiesced.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((usize, &mut [T])) + Sync + Send,
     {
-        let n_chunks = self.chunks.len();
-        if n_chunks == 0 {
-            return;
-        }
-        let workers = current_num_threads().min(n_chunks);
-        if workers <= 1 {
-            for (i, chunk) in self.chunks.into_iter().enumerate() {
-                f((i, chunk));
-            }
-            return;
-        }
-        // Deal contiguous blocks of chunks to each worker (uniform work
-        // per chunk in the GEMM use case, so block splitting balances).
-        let per = n_chunks.div_ceil(workers);
-        let mut blocks: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(workers);
-        let mut current = Vec::with_capacity(per);
-        for (i, chunk) in self.chunks.into_iter().enumerate() {
-            current.push((i, chunk));
-            if current.len() == per {
-                blocks.push(std::mem::take(&mut current));
-            }
-        }
-        if !current.is_empty() {
-            blocks.push(current);
-        }
-        let fref = &f;
-        std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(blocks.len());
-            for block in blocks {
-                handles.push(s.spawn(move || {
-                    for (i, chunk) in block {
-                        fref((i, chunk));
-                    }
-                }));
-            }
-            for h in handles {
-                h.join().expect("rayon worker panicked");
-            }
-        });
+        pool::run_batch(self.chunks, f);
     }
 }
 

@@ -1,0 +1,576 @@
+//! The persistent worker pool behind [`for_each`](crate::EnumeratedParChunksMut::for_each)
+//! and [`join`](crate::join).
+//!
+//! # Design
+//!
+//! A single process-wide pool of detached worker threads, spawned lazily
+//! and grown on demand up to [`current_num_threads`]` - 1` (the calling
+//! thread always participates, so `n` threads of compute need only
+//! `n - 1` workers). Work arrives through a mutex-guarded injector queue
+//! of type-erased [`JobRef`]s; idle workers sleep on a condvar.
+//!
+//! Callers submit *batches*: a shared work queue of items plus a latch.
+//! Every participant (the caller and each claimed job) pops items until
+//! the queue is dry, so imbalance self-corrects without work stealing.
+//! The caller then reclaims any still-unclaimed job copies from the
+//! injector and blocks until the jobs that *did* start have exited —
+//! which is what makes the lifetime erasure sound: the batch (and the
+//! borrows inside it) cannot be dropped while any worker can still
+//! reach it.
+//!
+//! # Panics
+//!
+//! A panic inside a user closure is caught at the item boundary, the
+//! batch's remaining items are abandoned, and the payload is re-thrown
+//! on the calling thread once the batch has quiesced. Worker threads
+//! never unwind, so one panicking `for_each` does not cost the pool a
+//! worker.
+//!
+//! # Nesting
+//!
+//! Nested calls cannot deadlock: a waiting caller has already drained
+//! the item queue itself and reclaimed every unstarted job copy, so it
+//! only ever waits on jobs that are actively executing on some worker —
+//! and those terminate by induction on nesting depth.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Number of worker threads parallel operations will use right now:
+/// `RAYON_NUM_THREADS` if set to a positive integer, else the machine's
+/// available parallelism.
+///
+/// Unlike upstream rayon (which fixes the pool size at first use), the
+/// environment is re-read on every call and the pool grows to match, so
+/// tests and callers can raise the override after the pool exists.
+pub fn current_num_threads() -> usize {
+    threads_from_env(std::env::var("RAYON_NUM_THREADS").ok().as_deref())
+}
+
+/// Pure parsing rule behind [`current_num_threads`]: a positive integer
+/// wins, anything else falls back to available parallelism.
+fn threads_from_env(var: Option<&str>) -> usize {
+    match var.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => default_parallelism(),
+    }
+}
+
+/// The machine's available parallelism, probed once — the OS query can
+/// cost microseconds (cgroup/affinity reads), which would dominate
+/// fine-grained dispatch decisions if paid per call. The env override,
+/// by contrast, stays re-read on every call (it is just a map lookup).
+fn default_parallelism() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT
+        .get_or_init(|| std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
+}
+
+// -------------------------------------------------------------------
+// Type-erased jobs and the global pool
+// -------------------------------------------------------------------
+
+/// A type- and lifetime-erased pointer to a job living on some caller's
+/// stack. The submitting call keeps the pointee alive until every copy
+/// has either executed or been reclaimed from the injector.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: a `JobRef` is only ever dereferenced while the submitting call
+// is blocked in `Batch::wait` / `join` keeping the pointee alive, and the
+// pointees (`Batch`, `JoinJob`) only expose `Sync` state.
+unsafe impl Send for JobRef {}
+
+struct Pool {
+    injector: Mutex<VecDeque<JobRef>>,
+    work_ready: Condvar,
+    /// Workers spawned so far; grown on demand, never shrunk.
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        injector: Mutex::new(VecDeque::new()),
+        work_ready: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Ensures at least `target` workers exist (bounded by demand, grown
+    /// lazily so processes that never go parallel never spawn threads).
+    fn ensure_workers(&'static self, target: usize) {
+        let mut spawned = self.spawned.lock().expect("pool spawn lock poisoned");
+        while *spawned < target {
+            let id = *spawned;
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn pool worker");
+            *spawned += 1;
+        }
+    }
+
+    /// Posts `copies` identical job references to the injector and wakes
+    /// that many workers.
+    fn post(&'static self, job: JobRef, copies: usize) {
+        {
+            let mut q = self.injector.lock().expect("pool injector poisoned");
+            for _ in 0..copies {
+                q.push_back(job);
+            }
+        }
+        for _ in 0..copies {
+            self.work_ready.notify_one();
+        }
+    }
+
+    /// Removes every still-queued copy of the job identified by `data`,
+    /// returning how many were reclaimed. Copies already claimed by a
+    /// worker are untouched (they will run to completion).
+    fn reclaim(&'static self, data: *const ()) -> usize {
+        let mut q = self.injector.lock().expect("pool injector poisoned");
+        let before = q.len();
+        q.retain(|j| !std::ptr::eq(j.data, data));
+        before - q.len()
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut q = self.injector.lock().expect("pool injector poisoned");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    q = self.work_ready.wait(q).expect("pool injector poisoned");
+                }
+            };
+            // SAFETY: the submitting call blocks until this execution
+            // finishes (it cannot reclaim an already-claimed copy), so
+            // the pointee is alive. `execute` catches user panics.
+            unsafe { (job.execute)(job.data) };
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Batches (the work-queue behind for_each)
+// -------------------------------------------------------------------
+
+struct BatchStatus {
+    /// Items not yet executed (or abandoned after a panic).
+    pending_items: usize,
+    /// Posted job copies that have started and not yet exited, plus
+    /// copies still sitting unclaimed in the injector.
+    outstanding_jobs: usize,
+    /// First panic payload caught in a worker closure, if any.
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+/// A `for_each` in flight: the item queue, the user closure, and the
+/// latch the caller waits on. Lives on the calling thread's stack for
+/// the whole call.
+struct Batch<'scope, T, F> {
+    items: Mutex<VecDeque<(usize, &'scope mut [T])>>,
+    f: &'scope F,
+    status: Mutex<BatchStatus>,
+    quiesced: Condvar,
+}
+
+impl<'scope, T, F> Batch<'scope, T, F>
+where
+    T: Send,
+    F: Fn((usize, &mut [T])) + Sync,
+{
+    /// Pops and runs items until the queue is dry. Panics from the user
+    /// closure are caught, recorded, and abandon the rest of the queue.
+    fn run_participant(&self) {
+        loop {
+            let item = {
+                let mut q = self.items.lock().expect("batch item queue poisoned");
+                q.pop_front()
+            };
+            let Some((index, chunk)) = item else { return };
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| (self.f)((index, chunk))));
+            let mut status = self.status.lock().expect("batch status poisoned");
+            status.pending_items -= 1;
+            if let Err(payload) = outcome {
+                if status.panic.is_none() {
+                    status.panic = Some(payload);
+                }
+                // Abandon the remaining items: with a panic pending there
+                // is no point finishing the batch, only quiescing it.
+                let abandoned = {
+                    let mut q = self.items.lock().expect("batch item queue poisoned");
+                    let n = q.len();
+                    q.clear();
+                    n
+                };
+                status.pending_items -= abandoned;
+            }
+            if status.pending_items == 0 {
+                self.quiesced.notify_all();
+            }
+        }
+    }
+
+    /// Entry point for pool workers: run, then sign off the job.
+    fn run_as_job(&self) {
+        self.run_participant();
+        let mut status = self.status.lock().expect("batch status poisoned");
+        status.outstanding_jobs -= 1;
+        if status.outstanding_jobs == 0 {
+            self.quiesced.notify_all();
+        }
+    }
+
+    /// Blocks until every item is done and every non-reclaimed job copy
+    /// has exited, then re-throws any caught panic.
+    fn wait(&self) {
+        let mut status = self.status.lock().expect("batch status poisoned");
+        while status.pending_items > 0 || status.outstanding_jobs > 0 {
+            status = self.quiesced.wait(status).expect("batch status poisoned");
+        }
+        if let Some(payload) = status.panic.take() {
+            drop(status);
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Type-erased worker entry for a [`Batch`].
+///
+/// # Safety
+///
+/// `data` must point to a live `Batch<T, F>` whose submitting call is
+/// blocked in [`Batch::wait`] until this returns.
+unsafe fn execute_batch<T, F>(data: *const ())
+where
+    T: Send,
+    F: Fn((usize, &mut [T])) + Sync,
+{
+    let batch = unsafe { &*(data as *const Batch<'_, T, F>) };
+    batch.run_as_job();
+}
+
+/// Runs `f` over every `(index, chunk)` pair, distributing chunks across
+/// the persistent pool. Called by
+/// [`EnumeratedParChunksMut::for_each`](crate::EnumeratedParChunksMut::for_each).
+pub(crate) fn run_batch<T, F>(chunks: Vec<&mut [T]>, f: F)
+where
+    T: Send,
+    F: Fn((usize, &mut [T])) + Sync + Send,
+{
+    let n_chunks = chunks.len();
+    if n_chunks == 0 {
+        return;
+    }
+    let threads = current_num_threads();
+    if threads <= 1 || n_chunks == 1 {
+        for (index, chunk) in chunks.into_iter().enumerate() {
+            f((index, chunk));
+        }
+        return;
+    }
+
+    // The caller participates, so at most `threads - 1` helpers — and no
+    // more than can possibly find an item to pop.
+    let helpers = (threads - 1).min(n_chunks - 1);
+    let pool = pool();
+    pool.ensure_workers(helpers);
+
+    let batch = Batch {
+        items: Mutex::new(chunks.into_iter().enumerate().collect()),
+        f: &f,
+        status: Mutex::new(BatchStatus {
+            pending_items: n_chunks,
+            outstanding_jobs: helpers,
+            panic: None,
+        }),
+        quiesced: Condvar::new(),
+    };
+    let data = &batch as *const Batch<'_, T, F> as *const ();
+    pool.post(JobRef { data, execute: execute_batch::<T, F> }, helpers);
+
+    // Drain items on the calling thread too; panics are caught inside,
+    // so this frame cannot unwind while jobs still reference `batch`.
+    batch.run_participant();
+
+    // Take back any copies no worker claimed, so the wait below only
+    // covers jobs that are actually executing (and hence terminate) —
+    // this is what makes nested batches deadlock-free.
+    let reclaimed = pool.reclaim(data);
+    if reclaimed > 0 {
+        let mut status = batch.status.lock().expect("batch status poisoned");
+        status.outstanding_jobs -= reclaimed;
+        if status.outstanding_jobs == 0 {
+            batch.quiesced.notify_all();
+        }
+    }
+    batch.wait();
+}
+
+// -------------------------------------------------------------------
+// join
+// -------------------------------------------------------------------
+
+enum JoinSlot<B, RB> {
+    /// Not yet claimed: the closure is still here for whoever runs it.
+    Todo(B),
+    /// A worker took the closure and is running it.
+    Running,
+    /// Finished (`Err` carries a caught panic payload).
+    Done(std::thread::Result<RB>),
+    /// Transient state while a participant holds the closure.
+    Empty,
+}
+
+/// A `join`'s right-hand side, posted to the pool while the caller runs
+/// the left-hand side inline.
+struct JoinJob<B, RB> {
+    slot: Mutex<JoinSlot<B, RB>>,
+    done: Condvar,
+}
+
+/// Type-erased worker entry for a [`JoinJob`].
+///
+/// # Safety
+///
+/// `data` must point to a live `JoinJob<B, RB>` whose submitting `join`
+/// call blocks until the slot reaches `Done` (or reclaims the copy).
+unsafe fn execute_join<B, RB>(data: *const ())
+where
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    let job = unsafe { &*(data as *const JoinJob<B, RB>) };
+    let func = {
+        let mut slot = job.slot.lock().expect("join slot poisoned");
+        match std::mem::replace(&mut *slot, JoinSlot::Running) {
+            JoinSlot::Todo(func) => func,
+            // The caller reclaimed and ran it first; nothing to do.
+            other => {
+                *slot = other;
+                return;
+            }
+        }
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(func));
+    *job.slot.lock().expect("join slot poisoned") = JoinSlot::Done(result);
+    job.done.notify_all();
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+/// `b` is offered to the pool while the caller runs `a`; if no worker is
+/// free by the time `a` finishes, the caller takes `b` back and runs it
+/// inline (so `join` never blocks on a busy pool).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let threads = current_num_threads();
+    if threads <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let pool = pool();
+    // Grow towards the full thread budget, not just one helper: a pure
+    // join-based divide-and-conquer workload posts nested jobs that only
+    // parallelise if enough workers exist to claim them.
+    pool.ensure_workers(threads - 1);
+
+    let job: JoinJob<B, RB> = JoinJob { slot: Mutex::new(JoinSlot::Todo(b)), done: Condvar::new() };
+    let data = &job as *const JoinJob<B, RB> as *const ();
+    pool.post(JobRef { data, execute: execute_join::<B, RB> }, 1);
+
+    // Catch a panic from `a` so this frame cannot unwind while the pool
+    // may still reference `job`.
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+
+    let rb = if pool.reclaim(data) > 0 {
+        // No worker got to it: run `b` inline.
+        let func = {
+            let mut slot = job.slot.lock().expect("join slot poisoned");
+            match std::mem::replace(&mut *slot, JoinSlot::Empty) {
+                JoinSlot::Todo(func) => func,
+                _ => unreachable!("reclaimed join job must still hold its closure"),
+            }
+        };
+        panic::catch_unwind(AssertUnwindSafe(func))
+    } else {
+        // A worker claimed it; wait for the result.
+        let mut slot = job.slot.lock().expect("join slot poisoned");
+        loop {
+            match std::mem::replace(&mut *slot, JoinSlot::Empty) {
+                JoinSlot::Done(result) => break result,
+                other => {
+                    *slot = other;
+                    slot = job.done.wait(slot).expect("join slot poisoned");
+                }
+            }
+        }
+    };
+
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) | (_, Err(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Serialises tests that read or write `RAYON_NUM_THREADS`.
+    pub(crate) fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        // A panicking env test must not wedge the others.
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Runs `f` with `RAYON_NUM_THREADS` set to `n`, restoring the
+    /// previous value afterwards.
+    pub(crate) fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = env_lock();
+        let previous = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+        let result = f();
+        match previous {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        result
+    }
+
+    #[test]
+    fn threads_from_env_parsing() {
+        assert_eq!(threads_from_env(Some("3")), 3);
+        assert_eq!(threads_from_env(Some(" 8 ")), 8);
+        let fallback = threads_from_env(None);
+        assert!(fallback >= 1);
+        // Zero, negatives and garbage all fall back.
+        assert_eq!(threads_from_env(Some("0")), fallback);
+        assert_eq!(threads_from_env(Some("-2")), fallback);
+        assert_eq!(threads_from_env(Some("lots")), fallback);
+        assert_eq!(threads_from_env(Some("")), fallback);
+    }
+
+    #[test]
+    fn current_num_threads_respects_env_override() {
+        with_threads(5, || assert_eq!(current_num_threads(), 5));
+        with_threads(1, || assert_eq!(current_num_threads(), 1));
+        // And the override is re-read, not latched at first call.
+        with_threads(2, || assert_eq!(current_num_threads(), 2));
+    }
+
+    #[test]
+    fn batch_runs_every_item_once_across_workers() {
+        with_threads(4, || {
+            let mut v = vec![0u32; 997];
+            let chunks: Vec<&mut [u32]> = v.chunks_mut(10).collect();
+            run_batch(chunks, |(_, chunk): (usize, &mut [u32])| {
+                for x in chunk.iter_mut() {
+                    *x += 1;
+                }
+            });
+            assert!(v.iter().all(|&x| x == 1));
+        });
+    }
+
+    #[test]
+    fn pool_survives_panics_in_worker_closures() {
+        with_threads(4, || {
+            let mut v = [0u8; 64];
+            let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+                let chunks: Vec<&mut [u8]> = v.chunks_mut(4).collect();
+                run_batch(chunks, |(i, _): (usize, &mut [u8])| {
+                    if i == 3 {
+                        panic!("boom in chunk 3");
+                    }
+                });
+            }));
+            assert!(attempt.is_err(), "panic must propagate to the caller");
+
+            // The pool must still schedule follow-up batches correctly.
+            let mut w = vec![0u32; 640];
+            let chunks: Vec<&mut [u32]> = w.chunks_mut(16).collect();
+            run_batch(chunks, |(_, chunk): (usize, &mut [u32])| {
+                for x in chunk.iter_mut() {
+                    *x += 2;
+                }
+            });
+            assert!(w.iter().all(|&x| x == 2));
+        });
+    }
+
+    #[test]
+    fn join_panic_propagates_from_either_side() {
+        with_threads(2, || {
+            let left = panic::catch_unwind(AssertUnwindSafe(|| join(|| panic!("left"), || 1)));
+            assert!(left.is_err());
+            let right = panic::catch_unwind(AssertUnwindSafe(|| join(|| 1, || panic!("right"))));
+            assert!(right.is_err());
+            // Pool still healthy afterwards.
+            assert_eq!(join(|| 2 + 2, || 3 * 3), (4, 9));
+        });
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        with_threads(3, || {
+            let counter = AtomicUsize::new(0);
+            let mut outer = [0u8; 8];
+            let chunks: Vec<&mut [u8]> = outer.chunks_mut(2).collect();
+            run_batch(chunks, |(_, _chunk): (usize, &mut [u8])| {
+                let mut inner = [0u8; 6];
+                let inner_chunks: Vec<&mut [u8]> = inner.chunks_mut(2).collect();
+                run_batch(inner_chunks, |(_, c): (usize, &mut [u8])| {
+                    counter.fetch_add(c.len(), Ordering::SeqCst);
+                });
+            });
+            // 4 outer chunks × 6 inner elements.
+            assert_eq!(counter.load(Ordering::SeqCst), 24);
+        });
+    }
+
+    #[test]
+    fn deeply_nested_joins_terminate() {
+        with_threads(4, || {
+            fn fib(n: u64) -> u64 {
+                if n < 2 {
+                    return n;
+                }
+                let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+                a + b
+            }
+            assert_eq!(fib(12), 144);
+        });
+    }
+
+    #[test]
+    fn serial_fallback_when_single_threaded() {
+        with_threads(1, || {
+            let mut v = vec![0u32; 100];
+            let chunks: Vec<&mut [u32]> = v.chunks_mut(7).collect();
+            run_batch(chunks, |(_, chunk): (usize, &mut [u32])| {
+                for x in chunk.iter_mut() {
+                    *x += 1;
+                }
+            });
+            assert!(v.iter().all(|&x| x == 1));
+            assert_eq!(join(|| 1, || 2), (1, 2));
+        });
+    }
+}
