@@ -128,6 +128,15 @@ pub trait ScalarMul: fmt::Debug + Send + Sync {
         PreparedPanel { raw: b.to_vec(), data: PanelData::Raw }
     }
 
+    /// `true` if [`prepare_panel`](Self::prepare_panel) caches a decoded
+    /// representation that [`mul_prepared`](Self::mul_prepared) consumes
+    /// faster than re-deriving it per call. Backends keeping the raw-only
+    /// default return `false`, so the GEMM engine can skip the panel
+    /// allocation + B copy that would buy them nothing.
+    fn supports_prepared_panels(&self) -> bool {
+        false
+    }
+
     /// [`mul_rows`](Self::mul_rows) against a panel prepared by
     /// [`prepare_panel`](Self::prepare_panel): `c[j] += mul(a, b[j])` for
     /// every `j` with `b[j] != 0.0`, with the same zero-bypass contract —
@@ -221,6 +230,10 @@ impl ScalarMul for QuantizedExactMul {
     fn prepare_panel(&self, b: &[f32]) -> PreparedPanel {
         let vals = b.iter().map(|&bv| FpScalar::from_f32(bv, self.format).to_f64()).collect();
         PreparedPanel { raw: b.to_vec(), data: PanelData::Quantized { format: self.format, vals } }
+    }
+
+    fn supports_prepared_panels(&self) -> bool {
+        true
     }
 
     fn mul_prepared(&self, a: f32, panel: &PreparedPanel, c: &mut [f32]) {
@@ -372,9 +385,11 @@ impl ApproxFpMul {
         // normaliser looks at the top column and shifts by at most one.
         let (man, exp) = if self.mult.config().truncate {
             // raw approximates (x.man * y.man) >> n, an n-bit value whose
-            // bit n-1 is set iff the product reached [2,4).
+            // bit n-1 is set iff the product reached [2,4). Masking keeps
+            // an over-wide approximate read-out to the n columns the
+            // hardware latches (mirrored in `fuse_combine`).
             if bits::bit(raw, n - 1) {
-                (raw, exp_sum + 1)
+                (raw & bits::mask(n), exp_sum + 1)
             } else {
                 // Shift left; the incoming LSB (column n-1 of the full
                 // product) was truncated away — hardware fills zero.
@@ -383,7 +398,7 @@ impl ApproxFpMul {
         } else {
             // raw approximates the full 2n-bit product.
             if bits::bit(raw, 2 * n - 1) {
-                (raw >> n, exp_sum + 1)
+                ((raw >> n) & bits::mask(n), exp_sum + 1)
             } else {
                 ((raw >> (n - 1)) & bits::mask(n), exp_sum)
             }
@@ -414,14 +429,16 @@ impl ApproxFpMul {
             return if sign { -0.0 } else { 0.0 };
         }
         let n = self.format.mantissa_width();
+        // Same branch structure and masking as `combine_raw` — an
+        // over-wide read-out must normalise identically on both paths.
         let (man, exp) = if self.mult.config().truncate {
             if bits::bit(raw, n - 1) {
-                (raw, exp_sum + 1)
+                (raw & bits::mask(n), exp_sum + 1)
             } else {
                 ((raw << 1) & bits::mask(n), exp_sum)
             }
         } else if bits::bit(raw, 2 * n - 1) {
-            (raw >> n, exp_sum + 1)
+            ((raw >> n) & bits::mask(n), exp_sum + 1)
         } else {
             ((raw >> (n - 1)) & bits::mask(n), exp_sum)
         };
@@ -514,6 +531,12 @@ impl ScalarMul for ApproxFpMul {
             })
             .collect();
         PreparedPanel { raw: b.to_vec(), data: PanelData::Decoded { format: self.format, elems } }
+    }
+
+    fn supports_prepared_panels(&self) -> bool {
+        // Exotic formats keep the raw fallback in `prepare_panel`, so
+        // there is nothing for the engine to amortise.
+        self.fast_f32
     }
 
     fn mul_prepared(&self, a: f32, panel: &PreparedPanel, c: &mut [f32]) {

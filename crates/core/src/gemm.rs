@@ -108,9 +108,11 @@ pub fn gemm_reference(
 /// cache-blocked, pre-decoded, parallel engine — bit-identical to
 /// [`gemm_reference`], much faster.
 ///
-/// Approximate/quantized backends take the prepared-panel path (each
-/// `KC×NC` B-panel decoded once, shared across rows and threads);
-/// native-`f32` backends keep their fused FMA path. Small problems
+/// Backends with a panel cache ([`ScalarMul::supports_prepared_panels`])
+/// take the prepared-panel path (each `KC×NC` B-panel decoded once,
+/// shared across rows and threads); native-`f32` backends — and `m == 1`
+/// or cache-less backends, where pre-decode has no cross-row reuse to
+/// amortise — keep the fused per-call path. Small problems
 /// (under ~16k MACs) run serially; larger ones split C row panels
 /// across the persistent worker pool. Either way the per-element
 /// accumulation order is ascending-`k`, so the result does not depend
@@ -146,23 +148,25 @@ pub fn gemm(
     }
     let macs = m.saturating_mul(k).saturating_mul(n);
     let threads = rayon::current_num_threads();
+    // Panel pre-decode pays off through cross-row reuse of a cached
+    // decoded representation: a single C row consumes each decoded
+    // element exactly once, and a backend without a panel cache (raw
+    // fallback) gains nothing from the panel allocation + B copy — both
+    // take the fused path instead (as do native-f32 backends, always).
+    let use_prepared = m > 1 && mul.supports_prepared_panels();
     if m > 1 && threads > 1 && macs >= PAR_MIN_MACS {
         // Split C into row chunks sized so every worker gets a share,
         // capped at MC rows for cache residency.
         let chunk_rows = MC.min(m.div_ceil(threads)).max(1);
-        if mul.is_native_f32() {
-            c.par_chunks_mut(chunk_rows * n).enumerate().for_each(|(panel, cpanel)| {
-                let i0 = panel * chunk_rows;
-                let rows = cpanel.len() / n;
-                fused_kernel(mul, &a[i0 * k..(i0 + rows) * k], b, cpanel, rows, k, n);
-            });
-        } else {
+        if use_prepared {
             prepared_parallel(mul, a, b, c, k, n, chunk_rows);
+        } else {
+            fused_parallel(mul, a, b, c, k, n, chunk_rows);
         }
-    } else if mul.is_native_f32() {
-        fused_kernel(mul, a, b, c, m, k, n);
-    } else {
+    } else if use_prepared {
         prepared_kernel(mul, a, b, c, k, n);
+    } else {
+        fused_kernel(mul, a, b, c, m, k, n);
     }
 }
 
@@ -303,6 +307,26 @@ fn prepared_kernel(mul: &dyn ScalarMul, a: &[f32], b: &[f32], c: &mut [f32], k: 
     }
 }
 
+/// Parallel fused path for native-`f32` backends: C row chunks are
+/// distributed over the pool, each running the `KC × NC` fused kernel on
+/// its slab. Chunks write disjoint C regions, so results never depend on
+/// scheduling.
+fn fused_parallel(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    chunk_rows: usize,
+) {
+    c.par_chunks_mut(chunk_rows * n).enumerate().for_each(|(panel, cpanel)| {
+        let i0 = panel * chunk_rows;
+        let rows = cpanel.len() / n;
+        fused_kernel(mul, &a[i0 * k..(i0 + rows) * k], b, cpanel, rows, k, n);
+    });
+}
+
 /// Parallel prepared-panel path: panel decode itself is parallelised
 /// (one block of B rows per work item), then the decoded panels are
 /// shared read-only across the C row chunks — B is decoded exactly once
@@ -434,11 +458,52 @@ mod tests {
     fn parallel_path_engages_above_gate() {
         // 64x32x32 = 65536 MACs clears PAR_MIN_MACS with m > 1: the
         // prepared-parallel path (approx) and fused-parallel path (exact)
-        // both run; results still bit-match the reference.
+        // both run — when `current_num_threads() > 1`; on a 1-core host
+        // `gemm` routes to the serial kernels instead, and the direct
+        // kernel test below keeps the parallel code covered regardless.
         let mul = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
         assert_bit_identical(&mul, 64, 32, 32);
         assert_bit_identical(&ExactMul, 64, 32, 32);
         // And a shape whose rows don't divide evenly by the chunk size.
         assert_bit_identical(&mul, 37, 24, 40);
+    }
+
+    #[test]
+    fn parallel_kernels_bit_match_reference_even_single_core() {
+        // Drive the parallel kernels directly, below `gemm`'s thread
+        // gate: on a 1-core host `run_batch` degrades to an inline loop,
+        // but the chunk indexing under test still executes, so a slab
+        // slicing bug cannot hide behind the gate.
+        let pc3 = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+        let muls: [&dyn ScalarMul; 2] = [&pc3, &ExactMul];
+        for &(m, k, n) in &[(5, 9, 11), (64, 32, 32), (37, 24, 40)] {
+            let a = test_matrix(m * k, 1);
+            let b = test_matrix(k * n, 2);
+            for mul in muls {
+                let mut reference = vec![0.0f32; m * n];
+                gemm_reference(mul, &a, &b, &mut reference, m, k, n);
+                // Chunk sizes that divide m, don't divide m, and exceed it.
+                for chunk_rows in [1, 3, MC, m + 1] {
+                    let mut prepared = vec![0.0f32; m * n];
+                    prepared_parallel(mul, &a, &b, &mut prepared, k, n, chunk_rows);
+                    let mut fused = vec![0.0f32; m * n];
+                    fused_parallel(mul, &a, &b, &mut fused, k, n, chunk_rows);
+                    for (i, r) in reference.iter().enumerate() {
+                        assert_eq!(
+                            r.to_bits(),
+                            prepared[i].to_bits(),
+                            "{}: prepared_parallel {m}x{k}x{n} chunk {chunk_rows} elem {i}",
+                            mul.name()
+                        );
+                        assert_eq!(
+                            r.to_bits(),
+                            fused[i].to_bits(),
+                            "{}: fused_parallel {m}x{k}x{n} chunk {chunk_rows} elem {i}",
+                            mul.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -185,6 +185,10 @@ pub struct Conv2d {
     /// Batched im2col scratch `[in_ch·k·k, batch·oh·ow]`; in backward it
     /// is recycled a second time as the `grad_cols` GEMM destination.
     scratch_cols: Vec<f32>,
+    /// `scratch_cols` currently holds `im2col_batch(cache_x)` — set by a
+    /// training forward, cleared once backward recycles the buffer — so
+    /// backward can skip re-lowering the cached input.
+    cols_valid: bool,
     /// Forward: staged GEMM output `[out_ch, batch·oh·ow]`. Backward:
     /// the gathered upstream gradient in the same layout.
     scratch_rows: Vec<f32>,
@@ -214,6 +218,7 @@ impl Conv2d {
             padding,
             cache_x: None,
             scratch_cols: Vec::new(),
+            cols_valid: false,
             scratch_rows: Vec::new(),
             scratch_t: Vec::new(),
         }
@@ -331,6 +336,9 @@ impl Layer for Conv2d {
             }
         }
         self.scratch_cols = cols;
+        // A training forward leaves `scratch_cols` holding exactly the
+        // lowering backward needs for this `cache_x`.
+        self.cols_valid = training;
         self.scratch_rows = staged;
         if training {
             self.cache_x = Some(x.clone());
@@ -347,7 +355,12 @@ impl Layer for Conv2d {
         let bp = batch * p;
 
         let mut cols = std::mem::take(&mut self.scratch_cols);
-        self.im2col_batch(&x, &mut cols);
+        if !self.cols_valid {
+            self.im2col_batch(&x, &mut cols);
+        }
+        // Either way the buffer stops holding the lowering below, where
+        // it is recycled as the grad_cols destination.
+        self.cols_valid = false;
 
         // Gather the upstream gradient [batch, out_ch, p] into
         // sample-major rows g[out_ch × bp], matching the cols layout.

@@ -262,7 +262,10 @@ impl FpScalar {
 ///
 /// Panics if `man` is not exactly `format.mantissa_width()` bits wide
 /// with its leading one set (the same contract as
-/// [`FpScalar::from_parts`]).
+/// [`FpScalar::from_parts`]). Normalisers feeding raw multiplier
+/// read-outs here must mask to the mantissa width first (as
+/// `ApproxFpMul::combine_raw` does), so an over-wide read-out cannot
+/// make the fused and `FpScalar` paths diverge.
 #[inline]
 pub fn encode_normal_f32(sign: bool, exp: i32, man: u64, format: FpFormat) -> f32 {
     let n = format.mantissa_width();

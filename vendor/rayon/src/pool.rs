@@ -46,6 +46,13 @@ use std::sync::{Condvar, Mutex, OnceLock};
 /// environment is re-read on every call and the pool grows to match, so
 /// tests and callers can raise the override after the pool exists.
 pub fn current_num_threads() -> usize {
+    #[cfg(test)]
+    {
+        let n = tests::THREADS_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
+        if n > 0 {
+            return n;
+        }
+    }
     threads_from_env(std::env::var("RAYON_NUM_THREADS").ok().as_deref())
 }
 
@@ -363,7 +370,12 @@ where
         }
     };
     let result = panic::catch_unwind(AssertUnwindSafe(func));
-    *job.slot.lock().expect("join slot poisoned") = JoinSlot::Done(result);
+    // Notify while still holding the slot lock: the caller can only
+    // observe `Done` under this lock, so releasing it first would open a
+    // window where the caller returns and pops the stack frame holding
+    // the `JoinJob` before `done` is dereferenced here.
+    let mut slot = job.slot.lock().expect("join slot poisoned");
+    *slot = JoinSlot::Done(result);
     job.done.notify_all();
 }
 
@@ -433,25 +445,34 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    /// Serialises tests that read or write `RAYON_NUM_THREADS`.
-    pub(crate) fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+    /// In-process thread-count override consulted by
+    /// [`current_num_threads`] ahead of the environment. Tests steer the
+    /// pool through this atomic rather than `std::env::set_var`: pool
+    /// workers re-read `RAYON_NUM_THREADS` concurrently, and an
+    /// unsynchronised `setenv` racing those `getenv`s is undefined
+    /// behaviour on glibc. `0` means "no override".
+    pub(crate) static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+    /// Serialises tests that depend on the thread-count override.
+    pub(crate) fn override_lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
-        // A panicking env test must not wedge the others.
+        // A panicking test must not wedge the others.
         LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Runs `f` with `RAYON_NUM_THREADS` set to `n`, restoring the
-    /// previous value afterwards.
+    /// Runs `f` with the pool's thread budget forced to `n`, clearing
+    /// the override afterwards (also on panic).
     pub(crate) fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-        let _guard = env_lock();
-        let previous = std::env::var("RAYON_NUM_THREADS").ok();
-        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
-        let result = f();
-        match previous {
-            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
-            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        let _guard = override_lock();
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                THREADS_OVERRIDE.store(0, Ordering::Relaxed);
+            }
         }
-        result
+        let _reset = Reset;
+        THREADS_OVERRIDE.store(n, Ordering::Relaxed);
+        f()
     }
 
     #[test]
@@ -468,11 +489,20 @@ mod tests {
     }
 
     #[test]
-    fn current_num_threads_respects_env_override() {
+    fn current_num_threads_respects_override() {
+        // The env path is `threads_from_env` over `getenv` (parsing
+        // covered above); tests exercise the in-process override, which
+        // takes precedence and avoids `setenv` races with pool workers.
         with_threads(5, || assert_eq!(current_num_threads(), 5));
         with_threads(1, || assert_eq!(current_num_threads(), 1));
         // And the override is re-read, not latched at first call.
         with_threads(2, || assert_eq!(current_num_threads(), 2));
+        // Cleared once each scope exits: back to the env/default path.
+        // Read under the lock — `with_threads` clears before unlocking
+        // (`_reset` drops before `_guard`), so while we hold it no other
+        // test's override can be pending.
+        let _guard = override_lock();
+        assert_eq!(THREADS_OVERRIDE.load(Ordering::Relaxed), 0);
     }
 
     #[test]
