@@ -9,7 +9,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use daism_core::{
-    gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, ExactMul,
+    gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, BlockFpGemm, ExactMul,
     MultiplierConfig, QuantizedExactMul, ScalarMul,
 };
 use daism_dnn::gemm;
@@ -156,5 +156,41 @@ fn gemm_engine_trajectory(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, gemm_backends, gemm_engine_trajectory);
+/// The block-floating-point engine trajectory: the paper's literal
+/// whole-matrix mode vs the per-tile tiled kernel vs the parallel
+/// engine, at the bf16-mantissa-equivalent width (9 signed bits, LUT
+/// path). Tracked alongside the float engine so the §IV-B dataflow has
+/// its own perf history (`bench_gemm_json` emits the same rows as JSON).
+fn gemm_blockfp_trajectory(c: &mut Criterion) {
+    let engine = BlockFpGemm::new(MultiplierConfig::PC3_TR, 9);
+    for size in [64usize, 256] {
+        let (m, k, n) = (size, size, size);
+        let (a, b) = test_operands(m, k, n);
+        let mut group = c.benchmark_group(format!("blockfp_{size}x{size}x{size}"));
+        group.bench_function("w9_pc3_tr/whole_matrix", |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                engine.execute_whole_matrix(black_box(&a), black_box(&b), &mut out, m, k, n);
+                black_box(out)
+            })
+        });
+        group.bench_function("w9_pc3_tr/tiled", |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                engine.execute_chunked(black_box(&a), black_box(&b), &mut out, m, k, n, m);
+                black_box(out)
+            })
+        });
+        group.bench_function("w9_pc3_tr/parallel", |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; m * n];
+                engine.execute(black_box(&a), black_box(&b), &mut out, m, k, n);
+                black_box(out)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, gemm_backends, gemm_engine_trajectory, gemm_blockfp_trajectory);
 criterion_main!(benches);

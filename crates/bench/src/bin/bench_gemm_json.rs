@@ -1,8 +1,10 @@
 //! Machine-readable GEMM perf trajectory: times the scalar reference,
 //! the PR-1 serial tiled kernel, the serial prepared-panel kernel and
-//! the full parallel engine for the exact-f32 and bf16/PC3_tr backends,
-//! then writes `BENCH_gemm.json` so speedups are tracked across PRs
-//! without parsing criterion output.
+//! the full parallel engine for the exact-f32 and bf16/PC3_tr backends —
+//! plus the **block-floating-point** engine (whole-matrix baseline,
+//! scalar reference, serial tiled, parallel) — then writes
+//! `BENCH_gemm.json` so speedups are tracked across PRs without parsing
+//! criterion output.
 //!
 //! Usage:
 //!
@@ -16,10 +18,15 @@
 //! few timed repetitions (best-of filters scheduler noise; the median
 //! shows spread). Derived speedups versus the reference and versus the
 //! tiled kernel are included per cell so the JSON is self-describing.
+//!
+//! The blockfp cells double as a CI guard: before timing, the engine's
+//! output is validated — all-finite, no scale blowup against the exact
+//! f32 GEMM, and byte-identical across repeats and chunk sizes (the
+//! thread-count seam) — and the process exits non-zero on any violation.
 
 use daism_core::{
-    gemm, gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, MultiplierConfig,
-    ScalarMul,
+    gemm, gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, BlockFpGemm,
+    ExactMul, MultiplierConfig, ScalarMul,
 };
 use daism_num::FpFormat;
 use std::time::Instant;
@@ -32,6 +39,38 @@ const VARIANTS: &[(&str, GemmFn)] = &[
     ("prepared", gemm_prepared_serial),
     ("parallel", gemm),
 ];
+
+type BlockFpFn = fn(&BlockFpGemm, &[f32], &[f32], &mut [f32], usize, usize, usize);
+
+fn blockfp_tiled_serial(
+    e: &BlockFpGemm,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    // One chunk spanning all rows: the tiled kernel without row
+    // parallelism, so the tiling win is visible next to `parallel`.
+    e.execute_chunked(a, b, c, m, k, n, m.max(1));
+}
+
+/// Whole-matrix quantization (the paper's literal mode) is the blockfp
+/// baseline, the scalar per-tile reference anchors semantics, and
+/// tiled/parallel are the engine.
+const BLOCKFP_VARIANTS: &[(&str, BlockFpFn)] = &[
+    ("whole_matrix", BlockFpGemm::execute_whole_matrix),
+    ("reference", BlockFpGemm::reference),
+    ("tiled", blockfp_tiled_serial),
+    ("parallel", BlockFpGemm::execute),
+];
+
+/// `man_width` for the benched blockfp engine: 9 signed bits = 8
+/// magnitude bits, the bf16-mantissa-equivalent width that rides the
+/// memoized product LUT (the configuration the accelerator actually
+/// targets).
+const BLOCKFP_WIDTH: u32 = 9;
 
 fn test_operands(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
     // Same deterministic fill as benches/gemm.rs, so numbers line up.
@@ -57,6 +96,68 @@ fn time_cell(f: GemmFn, mul: &dyn ScalarMul, size: usize, reps: usize) -> (u128,
         .collect();
     samples.sort_unstable();
     (samples[0], samples[samples.len() / 2])
+}
+
+/// Times one blockfp `(variant, size)` cell, same protocol as
+/// [`time_cell`].
+fn time_blockfp_cell(f: BlockFpFn, engine: &BlockFpGemm, size: usize, reps: usize) -> (u128, u128) {
+    let (m, k, n) = (size, size, size);
+    let (a, b) = test_operands(m, k, n);
+    let mut out = vec![0.0f32; m * n];
+    f(engine, &a, &b, &mut out, m, k, n); // warm-up (LUT build, pool spawn)
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            out.fill(0.0);
+            let t0 = Instant::now();
+            f(engine, &a, &b, &mut out, m, k, n);
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[0], samples[samples.len() / 2])
+}
+
+/// CI guard for the blockfp rows: no NaN/Inf, no scale blowup against
+/// the exact f32 GEMM, and byte-identical output across repeated runs
+/// and chunk sizes (the thread-count seam). Exits non-zero on failure so
+/// the bench-smoke step catches regressions without parsing the JSON.
+fn validate_blockfp(engine: &BlockFpGemm, size: usize) {
+    let (m, k, n) = (size, size, size);
+    let (a, b) = test_operands(m, k, n);
+    let run = |f: &dyn Fn(&mut [f32])| {
+        let mut c = vec![0.0f32; m * n];
+        f(&mut c);
+        c
+    };
+    let out = run(&|c| engine.execute(&a, &b, c, m, k, n));
+    if out.iter().any(|v| !v.is_finite()) {
+        eprintln!("blockfp validation failed: non-finite output at {size}^3");
+        std::process::exit(1);
+    }
+    let exact = run(&|c| gemm(&ExactMul, &a, &b, c, m, k, n));
+    let (mut err, mut mag) = (0.0f64, 0.0f64);
+    for (e, v) in exact.iter().zip(&out) {
+        err += (*e as f64 - *v as f64).abs();
+        mag += (*e as f64).abs();
+    }
+    if err > 0.5 * mag + 1e-3 {
+        eprintln!("blockfp validation failed: scale blowup at {size}^3 (err {err} vs mag {mag})");
+        std::process::exit(1);
+    }
+    let bits = |c: &[f32]| c.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    let golden = bits(&out);
+    let repeat = bits(&run(&|c| engine.execute(&a, &b, c, m, k, n)));
+    if repeat != golden {
+        eprintln!("blockfp validation failed: repeated runs diverged at {size}^3");
+        std::process::exit(1);
+    }
+    for chunk_rows in [1usize, 7, m] {
+        let chunked = bits(&run(&|c| engine.execute_chunked(&a, &b, c, m, k, n, chunk_rows)));
+        if chunked != golden {
+            eprintln!("blockfp validation failed: chunk_rows {chunk_rows} diverged at {size}^3");
+            std::process::exit(1);
+        }
+    }
 }
 
 struct Cell {
@@ -87,6 +188,8 @@ fn main() {
         ("bf16_pc3_tr", Box::new(ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16))),
     ];
 
+    let blockfp = BlockFpGemm::new(MultiplierConfig::PC3_TR, BLOCKFP_WIDTH);
+    let blockfp_name = format!("blockfp_w{BLOCKFP_WIDTH}_pc3_tr");
     let mut cells: Vec<Cell> = Vec::new();
     for &size in sizes {
         for (bname, backend) in &backends {
@@ -101,6 +204,20 @@ fn main() {
                     median_ns: median,
                 });
             }
+        }
+        validate_blockfp(&blockfp, size);
+        for (vname, f) in BLOCKFP_VARIANTS {
+            let (best, median) = time_blockfp_cell(*f, &blockfp, size, reps);
+            eprintln!(
+                "{size}^3 {blockfp_name:>12} {vname:>12}: best {best} ns, median {median} ns"
+            );
+            cells.push(Cell {
+                size,
+                backend: blockfp_name.clone(),
+                variant: vname,
+                best_ns: best,
+                median_ns: median,
+            });
         }
     }
 

@@ -46,8 +46,11 @@
 //! the `±0.0` product because a `+0.0` accumulator absorbs signed
 //! zeros.
 
+use crate::config::{MultiplierConfig, OperandMode};
 use crate::fp::PreparedPanel;
+use crate::mantissa::MantissaMultiplier;
 use crate::ScalarMul;
+use daism_num::BlockFp;
 use rayon::prelude::*;
 
 /// Rows of C per parallel panel (upper bound; small problems split
@@ -364,6 +367,437 @@ fn prepared_parallel(
     }
 }
 
+// -------------------------------------------------------------------
+// Block-floating-point GEMM engine
+// -------------------------------------------------------------------
+
+/// The tiled block-floating-point GEMM engine: the accelerator's *actual*
+/// execution mode (paper §IV-B), at per-tile exponent granularity.
+///
+/// # Dataflow
+///
+/// `C[m×n] += Â[m×k] · B̂[k×n]` where the hats denote BlockFp
+/// quantization:
+///
+/// * **A** is quantized per `(row, k-tile)` segment — one shared
+///   exponent per `tile_k`-wide row slice
+///   ([`BlockFp::quantize_rows`]);
+/// * **B** is quantized per `tile_k × tile_n` tile — one shared
+///   exponent per tile, quantized **once per GEMM** and shared
+///   read-only across every C row (and every worker thread), mirroring
+///   the prepared-panel float engine;
+/// * mantissa *magnitudes* multiply through the integer-mode
+///   OR-approximate [`MantissaMultiplier`] (signs XORed exactly, the
+///   line patterns / LUT row of each A mantissa pre-bound per `(row,
+///   l)` via [`MantissaMultiplier::prepare`]);
+/// * each tile accumulates in an **exact `i64`** — no per-product
+///   exponent datapath, no rounding inside the tile — and is folded
+///   into `C` with a single per-tile scale
+///   `2^(expA + expB - 2(man_width - 2))` at the C-update.
+///
+/// # Error model
+///
+/// Whole-matrix BlockFp (the paper's literal "one exponent per matrix",
+/// kept as [`execute_whole_matrix`](Self::execute_whole_matrix)) zeroes
+/// every element more than `man_width - 2` octaves below the matrix
+/// maximum. Per-tile quantization shrinks the sharing scope from `m·k`
+/// elements to `tile_k` (A) / `tile_k·tile_n` (B), so wide-dynamic-range
+/// operands keep far more mantissa bits — the differential suite asserts
+/// the accuracy win. Within a tile the usual BFP model applies: half a
+/// quantization step per operand (one step at the symmetric-clamp
+/// extreme), then the OR-approximation's underestimate on top.
+///
+/// # Determinism
+///
+/// Per output element, k-tiles fold into `C` in ascending-`k` order and
+/// each tile's integer accumulation is exact, so the result is
+/// **byte-identical** across thread counts, chunk sizes and repeated
+/// runs — the same guarantee the float prepared-panel path has
+/// (asserted by `tests/blockfp_differential.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use daism_core::{BlockFpGemm, MultiplierConfig};
+///
+/// let engine = BlockFpGemm::new(MultiplierConfig::PC3, 12);
+/// let a = [1.0f32, -0.5, 0.25, 0.75];
+/// let b = [0.5f32, 1.0, -1.0, 0.5];
+/// let mut c = [0.0f32; 4];
+/// engine.execute(&a, &b, &mut c, 2, 2, 2);
+/// // Exact result: [1.0, 0.75, -0.625, -0.125]; BFP+OR stays close.
+/// assert!((c[0] - 1.0).abs() < 0.15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockFpGemm {
+    mult: MantissaMultiplier,
+    man_width: u32,
+    tile_k: usize,
+    tile_n: usize,
+}
+
+impl BlockFpGemm {
+    /// Builds the engine for `config` with `man_width`-bit signed
+    /// mantissas at the default tile geometry (`KC × NC`, shared with
+    /// the float engine's cache blocking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `man_width` is outside `5..=25` (the integer multiplier
+    /// needs `man_width - 1` in `4..=24`).
+    pub fn new(config: MultiplierConfig, man_width: u32) -> Self {
+        Self::with_tiles(config, man_width, KC, NC)
+    }
+
+    /// Builds the engine with explicit tile geometry. `tile_k` is the
+    /// exponent-sharing depth (and the exact-`i64` accumulation span);
+    /// `tile_n` the tile width. `tile_k >= k` and `tile_n >= n`
+    /// degenerate to one block per A row and one per B matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `man_width` is outside `5..=25`, if either tile
+    /// dimension is zero, or if `tile_k` is deep enough that a tile's
+    /// worst-case integer accumulation could overflow `i64`
+    /// (`tile_k > 2^(65 - 2·man_width)`; 32768 at the widest mantissa).
+    pub fn with_tiles(
+        config: MultiplierConfig,
+        man_width: u32,
+        tile_k: usize,
+        tile_n: usize,
+    ) -> Self {
+        assert!((5..=25).contains(&man_width), "man_width {man_width} outside 5..=25");
+        assert!(tile_k > 0 && tile_n > 0, "tile dimensions must be positive");
+        // Each product magnitude is < 2^(2·man_width - 2) at full-product
+        // scale, so tile_k of them stay within i64 iff tile_k ≤ 2^(65-2w).
+        assert!(
+            tile_k <= 1usize << (65 - 2 * man_width).min(63),
+            "tile_k {tile_k} too deep for exact i64 accumulation at man_width {man_width}"
+        );
+        let mult = MantissaMultiplier::new(config, OperandMode::Int, man_width - 1);
+        BlockFpGemm { mult, man_width, tile_k, tile_n }
+    }
+
+    /// The multiplier configuration.
+    #[inline]
+    pub fn config(&self) -> MultiplierConfig {
+        self.mult.config()
+    }
+
+    /// Signed mantissa width in bits (including the sign's magnitude
+    /// bit).
+    #[inline]
+    pub fn man_width(&self) -> u32 {
+        self.man_width
+    }
+
+    /// Exponent-sharing depth along `k`.
+    #[inline]
+    pub fn tile_k(&self) -> usize {
+        self.tile_k
+    }
+
+    /// Tile width along `n`.
+    #[inline]
+    pub fn tile_n(&self) -> usize {
+        self.tile_n
+    }
+
+    /// Backend name for reports, e.g. `"blockfp12/PC3_tr"`.
+    pub fn name(&self) -> String {
+        format!("blockfp{}/{}", self.man_width, self.mult.config())
+    }
+
+    /// Truncated configurations sense only the top `man_width - 1`
+    /// product columns; shifting the read-out back left keeps every
+    /// product at full 2·(man_width-1)-column scale so one tile scale
+    /// serves both modes.
+    #[inline]
+    fn shift_back(&self) -> u32 {
+        if self.mult.config().truncate {
+            self.man_width - 1
+        } else {
+            0
+        }
+    }
+
+    /// Per-tile result scale: mantissa `q` represents `q · 2^(exp - (w-2))`,
+    /// so a product of two mantissas carries `2^(expA + expB - 2(w-2))`.
+    #[inline]
+    fn tile_scale(&self, exp_a: i32, exp_b: i32) -> f64 {
+        2f64.powi(exp_a + exp_b - 2 * (self.man_width as i32 - 2))
+    }
+
+    /// Gathers the `tile` slice of row-major B into `buf` and quantizes
+    /// it as one block (row-major `[l1-l0, j1-j0]` layout).
+    fn gather_tile(&self, b: &[f32], n: usize, tile: Tile, buf: &mut Vec<f32>) -> BlockFp {
+        buf.clear();
+        for l in tile.l0..tile.l1 {
+            buf.extend_from_slice(&b[l * n + tile.j0..l * n + tile.j1]);
+        }
+        BlockFp::quantize(buf, self.man_width)
+    }
+
+    /// Runs one tile's integer MAC loops over the C rows in `c` (a
+    /// `rows × n` slab starting at global row `i0`). `a_blocks` is the
+    /// whole matrix's per-(row, k-tile) quantization, `nkb` the number of
+    /// k-tiles per row; `accs` is the caller's `i64` accumulator scratch
+    /// (at least the tile width long).
+    #[allow(clippy::too_many_arguments)] // internal kernel seam, mirrors block_rows
+    fn mac_rows(
+        &self,
+        a_blocks: &[BlockFp],
+        nkb: usize,
+        i0: usize,
+        b_tile: &BlockFp,
+        c: &mut [f32],
+        n: usize,
+        tile: Tile,
+        accs: &mut [i64],
+    ) {
+        let rows = c.len() / n;
+        let tw = tile.j1 - tile.j0;
+        let lb = tile.l0 / self.tile_k;
+        let shift = self.shift_back();
+        let exp_b = b_tile.shared_exp();
+        let mb = b_tile.mantissas();
+        for r in 0..rows {
+            let ablock = &a_blocks[(i0 + r) * nkb + lb];
+            let accs = &mut accs[..tw];
+            accs.fill(0);
+            for (dl, &x) in ablock.mantissas().iter().enumerate() {
+                if x == 0 {
+                    continue; // zero bypass, as the hardware does
+                }
+                let sign_x = x < 0;
+                let prep = self.mult.prepare(x.unsigned_abs() as u64);
+                for (acc, &y) in accs.iter_mut().zip(&mb[dl * tw..(dl + 1) * tw]) {
+                    if y == 0 {
+                        continue; // zero bypass
+                    }
+                    let mag = self.mult.multiply_prepared(&prep, y.unsigned_abs() as u64) << shift;
+                    *acc += if sign_x ^ (y < 0) { -(mag as i64) } else { mag as i64 };
+                }
+            }
+            let scale = self.tile_scale(ablock.shared_exp(), exp_b);
+            let crow = &mut c[r * n + tile.j0..r * n + tile.j1];
+            for (cv, &acc) in crow.iter_mut().zip(accs.iter()) {
+                if acc != 0 {
+                    *cv += (acc as f64 * scale) as f32;
+                }
+            }
+        }
+    }
+
+    /// `C += Â·B̂` through the tiled engine. Small problems (under ~16k
+    /// MACs) or single-row problems run serially; larger ones split C
+    /// row chunks across the persistent worker pool — with
+    /// byte-identical results either way (each element's tile
+    /// contributions are exact integers folded in ascending-`k` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the shape.
+    pub fn execute(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        check_shapes(a, b, c, m, k, n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let macs = m.saturating_mul(k).saturating_mul(n);
+        let threads = rayon::current_num_threads();
+        if m > 1 && threads > 1 && macs >= PAR_MIN_MACS {
+            let chunk_rows = MC.min(m.div_ceil(threads)).max(1);
+            self.execute_chunked(a, b, c, m, k, n, chunk_rows);
+        } else {
+            let nkb = k.div_ceil(self.tile_k);
+            let a_blocks = BlockFp::quantize_rows(a, k, self.tile_k, self.man_width);
+            let mut buf = Vec::new();
+            let mut accs = vec![0i64; self.tile_n.min(n)];
+            for j0 in (0..n).step_by(self.tile_n) {
+                let j1 = (j0 + self.tile_n).min(n);
+                for l0 in (0..k).step_by(self.tile_k) {
+                    let tile = Tile { l0, l1: (l0 + self.tile_k).min(k), j0, j1 };
+                    let b_tile = self.gather_tile(b, n, tile, &mut buf);
+                    self.mac_rows(&a_blocks, nkb, 0, &b_tile, c, n, tile, &mut accs);
+                }
+            }
+        }
+    }
+
+    /// The parallel kernel with an explicit C row-chunk size, bypassing
+    /// [`execute`](Self::execute)'s MAC/thread gate — the seam the
+    /// determinism tests drive so single-core CI still exercises the
+    /// chunk indexing (on a 1-core host the pool degrades to an inline
+    /// loop, but the same slab slicing runs). B tiles are quantized once
+    /// and shared read-only across chunks. Prefer `execute` everywhere
+    /// else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the shape or `chunk_rows`
+    /// is zero.
+    #[allow(clippy::too_many_arguments)] // shape + chunk seam, mirrors the float kernels
+    pub fn execute_chunked(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        chunk_rows: usize,
+    ) {
+        check_shapes(a, b, c, m, k, n);
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let nkb = k.div_ceil(self.tile_k);
+        let a_blocks = BlockFp::quantize_rows(a, k, self.tile_k, self.man_width);
+        let mut buf = Vec::new();
+        for j0 in (0..n).step_by(self.tile_n) {
+            let j1 = (j0 + self.tile_n).min(n);
+            for l0 in (0..k).step_by(self.tile_k) {
+                let tile = Tile { l0, l1: (l0 + self.tile_k).min(k), j0, j1 };
+                let b_tile = self.gather_tile(b, n, tile, &mut buf);
+                c.par_chunks_mut(chunk_rows * n).enumerate().for_each(|(ci, cpanel)| {
+                    let mut accs = vec![0i64; tile.j1 - tile.j0];
+                    self.mac_rows(
+                        &a_blocks,
+                        nkb,
+                        ci * chunk_rows,
+                        &b_tile,
+                        cpanel,
+                        n,
+                        tile,
+                        &mut accs,
+                    );
+                });
+            }
+        }
+    }
+
+    /// The scalar semantic anchor: same per-`(row, k-tile)` /
+    /// per-`tile_k × tile_n` quantization, same integer products, same
+    /// per-tile scales — computed with plain nested loops, no tiling
+    /// machinery, no prepared multiplicands, no threads. The engine must
+    /// be bit-identical to this for every configuration, width and shape
+    /// (enforced by `tests/blockfp_differential.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the shape.
+    pub fn reference(&self, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        check_shapes(a, b, c, m, k, n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let nkb = k.div_ceil(self.tile_k);
+        let njb = n.div_ceil(self.tile_n);
+        let a_blocks = BlockFp::quantize_rows(a, k, self.tile_k, self.man_width);
+        let mut b_tiles = Vec::with_capacity(nkb * njb);
+        let mut buf = Vec::new();
+        for l0 in (0..k).step_by(self.tile_k) {
+            for j0 in (0..n).step_by(self.tile_n) {
+                let tile =
+                    Tile { l0, l1: (l0 + self.tile_k).min(k), j0, j1: (j0 + self.tile_n).min(n) };
+                b_tiles.push(self.gather_tile(b, n, tile, &mut buf));
+            }
+        }
+        let shift = self.shift_back();
+        for i in 0..m {
+            for j in 0..n {
+                let jb = j / self.tile_n;
+                let dj = j - jb * self.tile_n;
+                let tw = self.tile_n.min(n - jb * self.tile_n);
+                for lb in 0..nkb {
+                    let ablock = &a_blocks[i * nkb + lb];
+                    let btile = &b_tiles[lb * njb + jb];
+                    let mut acc = 0i64;
+                    for (dl, &x) in ablock.mantissas().iter().enumerate() {
+                        if x == 0 {
+                            continue;
+                        }
+                        let y = btile.mantissas()[dl * tw + dj];
+                        if y == 0 {
+                            continue;
+                        }
+                        let mag =
+                            self.mult.multiply(x.unsigned_abs() as u64, y.unsigned_abs() as u64)
+                                << shift;
+                        acc += if (x < 0) ^ (y < 0) { -(mag as i64) } else { mag as i64 };
+                    }
+                    if acc != 0 {
+                        let scale = self.tile_scale(ablock.shared_exp(), btile.shared_exp());
+                        c[i * n + j] += (acc as f64 * scale) as f32;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The paper's literal §IV-B mode: **one shared exponent per whole
+    /// matrix** for A and for B (tile geometry ignored), serial. Kept as
+    /// the accuracy baseline the per-tile engine is measured against —
+    /// wide-dynamic-range operands lose most of their small elements
+    /// here — and as the bit-compatibility anchor for `m == 1` problems
+    /// with matrix-spanning tiles, where the two granularities coincide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the shape, or if `k` is deep
+    /// enough that the whole-row integer accumulation could overflow
+    /// `i64` (`k > 2^(65 - 2·man_width)`).
+    pub fn execute_whole_matrix(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        check_shapes(a, b, c, m, k, n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        assert!(
+            k <= 1usize << (65 - 2 * self.man_width).min(63),
+            "k {k} too deep for exact i64 accumulation at man_width {}",
+            self.man_width
+        );
+        let block_a = BlockFp::quantize(a, self.man_width);
+        let block_b = BlockFp::quantize(b, self.man_width);
+        let scale = self.tile_scale(block_a.shared_exp(), block_b.shared_exp());
+        let shift = self.shift_back();
+        let (ma, mb) = (block_a.mantissas(), block_b.mantissas());
+        let mut accs = vec![0i64; n];
+        for i in 0..m {
+            accs.fill(0);
+            for l in 0..k {
+                let x = ma[i * k + l];
+                if x == 0 {
+                    continue; // zero bypass
+                }
+                let sign_x = x < 0;
+                let prep = self.mult.prepare(x.unsigned_abs() as u64);
+                for (acc, &y) in accs.iter_mut().zip(&mb[l * n..(l + 1) * n]) {
+                    if y == 0 {
+                        continue; // zero bypass
+                    }
+                    let mag = self.mult.multiply_prepared(&prep, y.unsigned_abs() as u64) << shift;
+                    *acc += if sign_x ^ (y < 0) { -(mag as i64) } else { mag as i64 };
+                }
+            }
+            for (cv, &acc) in c[i * n..(i + 1) * n].iter_mut().zip(accs.iter()) {
+                if acc != 0 {
+                    *cv += (acc as f64 * scale) as f32;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,5 +939,117 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ---------------------------------------------------------------
+    // BlockFpGemm
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn blockfp_engine_matches_scalar_reference() {
+        let engine = BlockFpGemm::with_tiles(MultiplierConfig::PC3_TR, 12, 3, 4);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 3, 4), (6, 8, 9)] {
+            let a = test_matrix(m * k, 11);
+            let b = test_matrix(k * n, 12);
+            let mut reference = vec![0.0f32; m * n];
+            let mut tiled = vec![0.0f32; m * n];
+            engine.reference(&a, &b, &mut reference, m, k, n);
+            engine.execute(&a, &b, &mut tiled, m, k, n);
+            for (i, (r, t)) in reference.iter().zip(&tiled).enumerate() {
+                assert_eq!(r.to_bits(), t.to_bits(), "{m}x{k}x{n} element {i}: {r} vs {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn blockfp_close_to_exact_at_high_width() {
+        let engine = BlockFpGemm::new(MultiplierConfig::PC3, 16);
+        let (m, k, n) = (4usize, 6, 5);
+        let a = test_matrix(m * k, 3);
+        let b = test_matrix(k * n, 4);
+        let mut exact = vec![0.0f32; m * n];
+        gemm(&ExactMul, &a, &b, &mut exact, m, k, n);
+        let mut bfp = vec![0.0f32; m * n];
+        engine.execute(&a, &b, &mut bfp, m, k, n);
+        let scale: f32 = exact.iter().map(|v| v.abs()).fold(0.0, f32::max);
+        for (e, c) in exact.iter().zip(&bfp) {
+            assert!((e - c).abs() < 0.12 * scale + 0.02, "{e} vs {c}");
+        }
+    }
+
+    #[test]
+    fn blockfp_accumulates_into_existing_c() {
+        let engine = BlockFpGemm::new(MultiplierConfig::PC3, 16);
+        let mut c = [10.0f32];
+        engine.execute(&[2.0], &[3.0], &mut c, 1, 1, 1);
+        assert!((c[0] - 16.0).abs() < 0.05, "{}", c[0]);
+    }
+
+    #[test]
+    fn blockfp_degenerate_shapes_are_noops() {
+        let engine = BlockFpGemm::new(MultiplierConfig::PC2, 8);
+        let mut c = [7.0f32];
+        engine.execute(&[], &[], &mut c, 1, 0, 1);
+        engine.reference(&[], &[], &mut c, 1, 0, 1);
+        engine.execute_whole_matrix(&[], &[], &mut c, 1, 0, 1);
+        assert_eq!(c[0], 7.0);
+        let mut empty: [f32; 0] = [];
+        engine.execute(&[], &[], &mut empty, 0, 3, 0);
+        engine.execute_chunked(&[], &[], &mut empty, 0, 0, 0, 4);
+    }
+
+    #[test]
+    fn blockfp_zero_matrices_give_zero() {
+        let engine = BlockFpGemm::new(MultiplierConfig::PC2, 12);
+        let a = vec![0f32; 6];
+        let b = vec![0f32; 6];
+        let mut c = vec![0f32; 4];
+        engine.execute(&a, &b, &mut c, 2, 3, 2);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn blockfp_whole_matrix_matches_engine_for_single_row_spanning_tiles() {
+        // m == 1 with matrix-spanning tiles: per-row A quantization is
+        // whole-matrix A quantization, and the single B tile is the
+        // whole B matrix — so the two modes must agree bit for bit.
+        let (k, n) = (9usize, 7);
+        let a = test_matrix(k, 21);
+        let b = test_matrix(k * n, 22);
+        for config in MultiplierConfig::ALL {
+            let engine = BlockFpGemm::with_tiles(config, 11, k, n);
+            let mut tiled = vec![0.0f32; n];
+            let mut whole = vec![0.0f32; n];
+            engine.execute(&a, &b, &mut tiled, 1, k, n);
+            engine.execute_whole_matrix(&a, &b, &mut whole, 1, k, n);
+            for (t, w) in tiled.iter().zip(&whole) {
+                assert_eq!(t.to_bits(), w.to_bits(), "{config}: {t} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn blockfp_name_and_accessors() {
+        let engine = BlockFpGemm::with_tiles(MultiplierConfig::PC3_TR, 12, 16, 32);
+        assert_eq!(engine.name(), "blockfp12/PC3_tr");
+        assert_eq!(engine.man_width(), 12);
+        assert_eq!(engine.config(), MultiplierConfig::PC3_TR);
+        assert_eq!(engine.tile_k(), 16);
+        assert_eq!(engine.tile_n(), 32);
+        let default = BlockFpGemm::new(MultiplierConfig::FLA, 8);
+        assert_eq!(default.tile_k(), KC);
+        assert_eq!(default.tile_n(), NC);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 5..=25")]
+    fn blockfp_rejects_tiny_width() {
+        let _ = BlockFpGemm::new(MultiplierConfig::FLA, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "too deep for exact i64 accumulation")]
+    fn blockfp_rejects_overflowing_tile_depth() {
+        let _ = BlockFpGemm::with_tiles(MultiplierConfig::PC3, 25, 1 << 16, NC);
     }
 }

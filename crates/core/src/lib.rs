@@ -40,6 +40,10 @@
 //! * [`ApproxFpMul`] / [`ScalarMul`] — the full floating-point multiply
 //!   pipeline (sign, exponent, zero bypass, normalisation) around any
 //!   mantissa multiplier, for `float32`, `bfloat16` or custom formats;
+//! * [`BlockFpGemm`] — the tiled block-floating-point GEMM engine: one
+//!   shared exponent per tile, integer-mode OR-approximate mantissa
+//!   products, exact `i64` tile accumulation (the accelerator's §IV-B
+//!   dataflow);
 //! * [`error_analysis`] — exhaustive and Monte-Carlo error
 //!   characterisation of every configuration.
 //!
@@ -73,7 +77,7 @@ mod sram_backed;
 pub use config::{MultiplierConfig, MultiplierKind, OperandMode};
 pub use error::CoreError;
 pub use fp::{ApproxFpMul, ExactMul, PreparedPanel, QuantizedExactMul, ScalarMul};
-pub use gemm::{gemm, gemm_prepared_serial, gemm_reference, gemm_tiled_serial};
+pub use gemm::{gemm, gemm_prepared_serial, gemm_reference, gemm_tiled_serial, BlockFpGemm};
 pub use lines::{LineLayout, LineSpec};
 pub use mantissa::{exact_mul, MantissaMultiplier, PreparedMultiplicand};
 pub use sram_backed::SramMultiplier;

@@ -1,21 +1,29 @@
-//! Block-floating-point GEMM: the paper's §IV-B exponent handling
-//! ("this data type only has one exponent per matrix, reducing data
-//! size and improving performance"), executed on the *integer-mode*
-//! approximate multiplier.
+//! Block-floating-point GEMM: the paper's §IV-B exponent handling,
+//! executed on the *integer-mode* approximate multiplier.
 //!
-//! Each operand matrix is quantized into one [`BlockFp`] block (a single
-//! shared exponent + signed mantissas); products multiply mantissa
-//! *magnitudes* through an OR-approximate integer multiplier
-//! (sign-magnitude, signs XORed exactly), accumulate in a 64-bit integer
-//! accumulator, and are rescaled once at the end — no per-product
-//! exponent datapath at all.
+//! This is now a thin wrapper over the tiled engine in `daism-core`
+//! ([`BlockFpGemm`]): operands are quantized at **per-tile** granularity
+//! (one shared exponent per A row-segment and per `KC × NC` B tile
+//! instead of one per matrix), products multiply mantissa *magnitudes*
+//! through an OR-approximate integer multiplier (sign-magnitude, signs
+//! XORed exactly), each tile accumulates in an exact 64-bit integer, and
+//! the per-tile scale folds in at the C-update — no per-product exponent
+//! datapath at all. Large problems run over the persistent worker pool
+//! with byte-identical results at every thread count.
+//!
+//! Per-tile exponents are strictly more accurate than the paper's
+//! literal one-exponent-per-matrix mode on wide-dynamic-range operands
+//! (the whole-matrix mode survives as
+//! [`BlockFpGemm::execute_whole_matrix`], and the differential suite in
+//! `daism-core` pins the accuracy win); on narrow-range operands the two
+//! coincide up to the shared-exponent granularity.
 
-use daism_core::{MantissaMultiplier, MultiplierConfig, OperandMode};
-use daism_num::BlockFp;
+use daism_core::{BlockFpGemm, MultiplierConfig};
 
 /// `C[m×n] = A[m×k] · B[k×n]` in block floating point with
 /// `man_width`-bit signed mantissas, multiplied by the approximate
-/// integer multiplier of `config`.
+/// integer multiplier of `config` — one call into the tiled, parallel
+/// [`BlockFpGemm`] engine at its default tile geometry.
 ///
 /// # Panics
 ///
@@ -44,53 +52,8 @@ pub fn blockfp_gemm(
     k: usize,
     n: usize,
 ) -> Vec<f32> {
-    assert_eq!(a.len(), m * k, "A has wrong length");
-    assert_eq!(b.len(), k * n, "B has wrong length");
-    assert!((5..=25).contains(&man_width), "man_width {man_width} outside 5..=25");
-
-    let block_a = BlockFp::quantize(a, man_width);
-    let block_b = BlockFp::quantize(b, man_width);
-    let mult = MantissaMultiplier::new(config, OperandMode::Int, man_width - 1);
-    let mag_limit = (1u64 << (man_width - 1)) - 1;
-
-    // Result scale: each mantissa is value * 2^(w-2-exp); a product of
-    // two mantissas carries 2^(2(w-2) - expA - expB).
-    let scale = 2f64.powi(block_a.shared_exp() + block_b.shared_exp() - 2 * (man_width as i32 - 2));
-    let shift_back = if config.truncate { man_width - 1 } else { 0 };
-
-    let ma = block_a.mantissas();
-    let mb = block_b.mantissas();
     let mut out = vec![0f32; m * n];
-    // Row-panel loop order (i, l, j) with the multiplicand pre-bound per
-    // (i, l): the line-pattern / table-row derivation is hoisted out of
-    // the inner j loop, mirroring the prepared-panel float engine. The
-    // i64 accumulator is exact, so reassociating the k loop cannot
-    // change a single output bit relative to the (i, j, l) order.
-    let mut accs: Vec<i64> = vec![0; n];
-    for i in 0..m {
-        accs.iter_mut().for_each(|a| *a = 0);
-        for l in 0..k {
-            let x = ma[i * k + l];
-            if x == 0 {
-                continue; // zero bypass
-            }
-            let mag_x = (x.unsigned_abs() as u64).min(mag_limit);
-            let sign_x = x < 0;
-            let prep = mult.prepare(mag_x);
-            for (acc, &y) in accs.iter_mut().zip(&mb[l * n..(l + 1) * n]) {
-                if y == 0 {
-                    continue; // zero bypass
-                }
-                let mag_y = (y.unsigned_abs() as u64).min(mag_limit);
-                let mag = mult.multiply_prepared(&prep, mag_y) << shift_back;
-                let sign = sign_x ^ (y < 0);
-                *acc += if sign { -(mag as i64) } else { mag as i64 };
-            }
-        }
-        for (o, &acc) in out[i * n..(i + 1) * n].iter_mut().zip(accs.iter()) {
-            *o = (acc as f64 * scale) as f32;
-        }
-    }
+    BlockFpGemm::new(config, man_width).execute(a, b, &mut out, m, k, n);
     out
 }
 
@@ -147,7 +110,8 @@ mod tests {
     #[test]
     fn magnitudes_never_overestimated() {
         // OR-approximation on magnitudes: |approx| <= |bfp-exact| per
-        // product, so a single-product GEMM must not overestimate.
+        // product, so a single-product GEMM must not overestimate beyond
+        // the quantization half-steps.
         let a = [0.73f32];
         let b = [1.91f32];
         for config in MultiplierConfig::ALL {
@@ -165,6 +129,20 @@ mod tests {
         let scale: f32 = exact.iter().map(|v| v.abs()).fold(0.0, f32::max);
         for (e, c) in exact.iter().zip(&tr) {
             assert!((e - c).abs() < 0.15 * scale + 0.02, "{e} vs {c}");
+        }
+    }
+
+    #[test]
+    fn wrapper_is_bit_identical_to_core_engine() {
+        // The dnn entry point must stay a thin wrapper: same engine,
+        // same defaults, same bits.
+        let (m, k, n) = (5usize, 7, 6);
+        let (a, b) = test_mats(m, k, n);
+        let wrapped = blockfp_gemm(MultiplierConfig::PC3_TR, 12, &a, &b, m, k, n);
+        let mut direct = vec![0f32; m * n];
+        BlockFpGemm::new(MultiplierConfig::PC3_TR, 12).execute(&a, &b, &mut direct, m, k, n);
+        for (w, d) in wrapped.iter().zip(&direct) {
+            assert_eq!(w.to_bits(), d.to_bits());
         }
     }
 

@@ -1,6 +1,6 @@
 use crate::gemm::gemm;
 use crate::tensor::Tensor;
-use daism_core::ScalarMul;
+use daism_core::{BlockFpGemm, ExactMul, ScalarMul};
 
 /// A trainable parameter: value, gradient accumulator and SGD momentum
 /// buffer.
@@ -44,6 +44,21 @@ pub trait Layer {
     /// Implementations may panic if called before `forward`.
     fn backward(&mut self, grad: &Tensor, mul: &dyn ScalarMul) -> Tensor;
 
+    /// Inference forward through the **block-floating-point** GEMM
+    /// engine (the accelerator's §IV-B execution mode): layers whose
+    /// forward is a matrix multiply ([`Dense`], [`Conv2d`]) route it
+    /// through `engine` — per-tile shared exponents, integer-mode
+    /// OR-approximate mantissa products, exact `i64` tile accumulation —
+    /// instead of a per-scalar [`ScalarMul`] backend. Layers without
+    /// multiplies (activations, pooling, reshapes) fall back to their
+    /// exact forward; containers forward recursively.
+    ///
+    /// Inference only: nothing is cached for `backward`.
+    fn forward_blockfp(&mut self, x: &Tensor, engine: &BlockFpGemm) -> Tensor {
+        let _ = engine;
+        self.forward(x, &ExactMul, false)
+    }
+
     /// Mutable access to the layer's parameters (empty by default).
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
@@ -79,6 +94,27 @@ impl Dense {
             cache_x: None,
         }
     }
+
+    /// `Wᵀ` as a fresh `[in, out]` buffer — the multiplicand layout both
+    /// forward paths feed the GEMM engines.
+    fn weight_t(&self) -> Vec<f32> {
+        let mut wt = vec![0.0f32; self.in_features * self.out_features];
+        for o in 0..self.out_features {
+            for i in 0..self.in_features {
+                wt[i * self.out_features + o] = self.w.value.data()[o * self.in_features + i];
+            }
+        }
+        wt
+    }
+
+    /// Adds the bias row to every sample of `y` (`[batch, out]`).
+    fn add_bias(&self, y: &mut Tensor, batch: usize) {
+        for n in 0..batch {
+            for o in 0..self.out_features {
+                y.data_mut()[n * self.out_features + o] += self.b.value.data()[o];
+            }
+        }
+    }
 }
 
 impl Layer for Dense {
@@ -86,23 +122,24 @@ impl Layer for Dense {
         assert_eq!(x.shape().len(), 2, "Dense expects [batch, features]");
         assert_eq!(x.shape()[1], self.in_features, "Dense input width mismatch");
         let batch = x.shape()[0];
-        // Transpose W once: [in, out].
-        let mut wt = vec![0.0f32; self.in_features * self.out_features];
-        for o in 0..self.out_features {
-            for i in 0..self.in_features {
-                wt[i * self.out_features + o] = self.w.value.data()[o * self.in_features + i];
-            }
-        }
+        let wt = self.weight_t();
         let mut y = Tensor::zeros(&[batch, self.out_features]);
         gemm(mul, x.data(), &wt, y.data_mut(), batch, self.in_features, self.out_features);
-        for n in 0..batch {
-            for o in 0..self.out_features {
-                y.data_mut()[n * self.out_features + o] += self.b.value.data()[o];
-            }
-        }
+        self.add_bias(&mut y, batch);
         if training {
             self.cache_x = Some(x.clone());
         }
+        y
+    }
+
+    fn forward_blockfp(&mut self, x: &Tensor, engine: &BlockFpGemm) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "Dense expects [batch, features]");
+        assert_eq!(x.shape()[1], self.in_features, "Dense input width mismatch");
+        let batch = x.shape()[0];
+        let wt = self.weight_t();
+        let mut y = Tensor::zeros(&[batch, self.out_features]);
+        engine.execute(x.data(), &wt, y.data_mut(), batch, self.in_features, self.out_features);
+        self.add_bias(&mut y, batch);
         y
     }
 
@@ -269,6 +306,26 @@ impl Conv2d {
         }
     }
 
+    /// Un-stages a `[out_ch, batch·oh·ow]` GEMM result into a
+    /// `[batch, out_ch, oh, ow]` tensor, adding the channel bias.
+    fn unstage_with_bias(&self, staged: &[f32], batch: usize, oh: usize, ow: usize) -> Tensor {
+        let p = oh * ow;
+        let bp = batch * p;
+        let mut y = Tensor::zeros(&[batch, self.out_ch, oh, ow]);
+        for n in 0..batch {
+            for c in 0..self.out_ch {
+                let bias = self.b.value.data()[c];
+                let src = &staged[c * bp + n * p..c * bp + (n + 1) * p];
+                let dst =
+                    &mut y.data_mut()[(n * self.out_ch + c) * p..(n * self.out_ch + c + 1) * p];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = s + bias;
+                }
+            }
+        }
+        y
+    }
+
     /// Batched col2im: scatter-adds a `[in_ch·k·k, batch·oh·ow]`
     /// gradient back to image space for every sample.
     fn col2im_batch(&self, cols: &[f32], gx: &mut Tensor) {
@@ -323,18 +380,7 @@ impl Layer for Conv2d {
         gemm(mul, self.w.value.data(), &cols, &mut staged, self.out_ch, kdim, bp);
 
         // Un-stage [out_ch, batch·p] -> [batch, out_ch, p], adding bias.
-        let mut y = Tensor::zeros(&[batch, self.out_ch, oh, ow]);
-        for n in 0..batch {
-            for c in 0..self.out_ch {
-                let bias = self.b.value.data()[c];
-                let src = &staged[c * bp + n * p..c * bp + (n + 1) * p];
-                let dst =
-                    &mut y.data_mut()[(n * self.out_ch + c) * p..(n * self.out_ch + c + 1) * p];
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d = s + bias;
-                }
-            }
-        }
+        let y = self.unstage_with_bias(&staged, batch, oh, ow);
         self.scratch_cols = cols;
         // A training forward leaves `scratch_cols` holding exactly the
         // lowering backward needs for this `cache_x`.
@@ -343,6 +389,34 @@ impl Layer for Conv2d {
         if training {
             self.cache_x = Some(x.clone());
         }
+        y
+    }
+
+    fn forward_blockfp(&mut self, x: &Tensor, engine: &BlockFpGemm) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "Conv2d expects [batch, ch, h, w]");
+        assert_eq!(x.shape()[1], self.in_ch, "Conv2d channel mismatch");
+        let (batch, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let kdim = self.in_ch * self.kernel * self.kernel;
+        let bp = batch * oh * ow;
+
+        // Same one-GEMM-per-layer lowering as the float forward, with
+        // the BlockFp engine consuming the whole-batch column matrix —
+        // the panels are wide enough for its per-tile quantization and
+        // the worker pool to pay off.
+        let mut cols = std::mem::take(&mut self.scratch_cols);
+        self.im2col_batch(x, &mut cols);
+        let mut staged = std::mem::take(&mut self.scratch_rows);
+        staged.clear();
+        staged.resize(self.out_ch * bp, 0.0);
+        engine.execute(self.w.value.data(), &cols, &mut staged, self.out_ch, kdim, bp);
+
+        let y = self.unstage_with_bias(&staged, batch, oh, ow);
+        self.scratch_cols = cols;
+        // The scratch now holds a lowering of *this* x, not of any
+        // cached training input.
+        self.cols_valid = false;
+        self.scratch_rows = staged;
         y
     }
 
@@ -589,6 +663,12 @@ impl Layer for Residual {
         y.add(x)
     }
 
+    fn forward_blockfp(&mut self, x: &Tensor, engine: &BlockFpGemm) -> Tensor {
+        let y = self.inner.forward_blockfp(x, engine);
+        assert_eq!(y.shape(), x.shape(), "Residual inner must preserve shape");
+        y.add(x)
+    }
+
     fn backward(&mut self, grad: &Tensor, mul: &dyn ScalarMul) -> Tensor {
         let g_inner = self.inner.backward(grad, mul);
         g_inner.add(grad)
@@ -638,6 +718,14 @@ impl Layer for Sequential {
         let mut out = x.clone();
         for layer in &mut self.layers {
             out = layer.forward(&out, mul, training);
+        }
+        out
+    }
+
+    fn forward_blockfp(&mut self, x: &Tensor, engine: &BlockFpGemm) -> Tensor {
+        let mut out = x.clone();
+        for layer in &mut self.layers {
+            out = layer.forward_blockfp(&out, engine);
         }
         out
     }
@@ -1028,6 +1116,114 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "{}: stepped b diverged", mul.name());
             }
         }
+    }
+
+    #[test]
+    fn dense_forward_blockfp_close_to_exact() {
+        use daism_core::MultiplierConfig;
+        let mut d = Dense::new(6, 4, 3);
+        let x = Tensor::randn(&[5, 6], 1.0, 19);
+        let exact = d.forward(&x, &ExactMul, false);
+        let engine = BlockFpGemm::new(MultiplierConfig::PC3, 16);
+        let y = d.forward_blockfp(&x, &engine);
+        assert_eq!(y.shape(), exact.shape());
+        let scale: f32 = exact.data().iter().map(|v| v.abs()).fold(0.0, f32::max);
+        for (e, b) in exact.data().iter().zip(y.data()) {
+            assert!((e - b).abs() < 0.10 * scale + 0.02, "{e} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_forward_blockfp_bit_matches_engine_lowering() {
+        use daism_core::MultiplierConfig;
+        // forward_blockfp must be exactly engine.execute over the same
+        // whole-batch im2col lowering the float forward uses, plus bias.
+        let engine = BlockFpGemm::new(MultiplierConfig::PC3_TR, 12);
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, 5);
+        let x = Tensor::randn(&[2, 2, 5, 5], 1.0, 23);
+        let y = c.forward_blockfp(&x, &engine);
+
+        let (batch, h, w) = (2usize, 5usize, 5usize);
+        let (oh, ow) = c.out_hw(h, w);
+        let kdim = 2 * 3 * 3;
+        let bp = batch * oh * ow;
+        let mut cols = Vec::new();
+        c.im2col_batch(&x, &mut cols);
+        let mut staged = vec![0.0f32; 3 * bp];
+        engine.execute(c.w.value.data(), &cols, &mut staged, 3, kdim, bp);
+        let expect = c.unstage_with_bias(&staged, batch, oh, ow);
+        assert_eq!(y.shape(), expect.shape());
+        for (a, b) in y.data().iter().zip(expect.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "forward_blockfp diverged from lowering");
+        }
+    }
+
+    #[test]
+    fn conv_forward_blockfp_does_not_corrupt_training_scratch() {
+        use daism_core::MultiplierConfig;
+        // A blockfp inference call between a training forward and its
+        // backward must not let backward consume the wrong lowering.
+        let engine = BlockFpGemm::new(MultiplierConfig::PC3, 14);
+        let mul = ExactMul;
+        let x_train = Tensor::randn(&[2, 1, 4, 4], 1.0, 31);
+        let x_other = Tensor::randn(&[2, 1, 4, 4], 1.0, 77);
+        let grad_seed = 41;
+
+        // Clean run: forward + backward, no interleaved inference.
+        let mut clean = Conv2d::new(1, 2, 3, 1, 1, 9);
+        let y = clean.forward(&x_train, &mul, true);
+        let grad = Tensor::randn(y.shape(), 0.9, grad_seed);
+        let gx_clean = clean.backward(&grad, &mul);
+
+        // Interleaved run: a blockfp forward on *different* data between
+        // the training forward and backward.
+        let mut mixed = Conv2d::new(1, 2, 3, 1, 1, 9);
+        let _ = mixed.forward(&x_train, &mul, true);
+        let _ = mixed.forward_blockfp(&x_other, &engine);
+        let gx_mixed = mixed.backward(&grad, &mul);
+
+        for (a, b) in clean.w.grad.data().iter().zip(mixed.w.grad.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "grad_w corrupted by interleaved blockfp");
+        }
+        for (a, b) in gx_clean.data().iter().zip(gx_mixed.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "grad_x corrupted by interleaved blockfp");
+        }
+    }
+
+    #[test]
+    fn model_forward_blockfp_routes_every_layer() {
+        use daism_core::MultiplierConfig;
+        // A conv -> relu -> pool -> flatten -> dense chain (wrapped in a
+        // Residual dense block) through the BlockFp engine: close to the
+        // exact forward at high mantissa width, and non-GEMM layers keep
+        // their exact semantics.
+        let inner = Sequential::new().push(Dense::new(8, 8, 12));
+        let mut model = Sequential::new()
+            .push(Conv2d::new(1, 2, 3, 1, 1, 4))
+            .push(ReLU::new())
+            .push(MaxPool2d::new())
+            .push(Flatten::new())
+            .push(Dense::new(2 * 2 * 2, 8, 6))
+            .push(Residual::new(inner));
+        let x = Tensor::randn(&[3, 1, 4, 4], 1.0, 55);
+        let exact = model.forward(&x, &ExactMul, false);
+        let engine = BlockFpGemm::new(MultiplierConfig::PC3, 18);
+        let y = model.forward_blockfp(&x, &engine);
+        assert_eq!(y.shape(), exact.shape());
+        // PC3's OR loss (up to ~20% per product, independent of mantissa
+        // width) compounds across the three stacked GEMM layers, so the
+        // envelope is loose — per-layer tightness is pinned by the
+        // bit-level lowering test above and the core differential suite.
+        let scale: f32 = exact.data().iter().map(|v| v.abs()).fold(0.0, f32::max);
+        for (e, b) in exact.data().iter().zip(y.data()) {
+            assert!((e - b).abs() < 0.5 * scale + 0.05, "{e} vs {b}");
+        }
+        // And the approximate path genuinely ran: a bit-identical output
+        // would mean the engine was silently bypassed.
+        assert!(
+            exact.data().iter().zip(y.data()).any(|(e, b)| e.to_bits() != b.to_bits()),
+            "forward_blockfp output is bit-identical to exact — engine not routed"
+        );
     }
 
     #[test]

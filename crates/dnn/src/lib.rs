@@ -13,7 +13,13 @@
 //! Every multiply in every layer (forward *and* backward) goes through a
 //! [`ScalarMul`](daism_core::ScalarMul) backend, so the same network can
 //! run exact-`f32`, exact-`bfloat16` or any DAISM configuration, for
-//! both inference and training.
+//! both inference and training. Inference can additionally route every
+//! layer GEMM through the **block-floating-point** engine
+//! ([`Layer::forward_blockfp`] /
+//! [`train::accuracy_blockfp`]) — the accelerator's §IV-B integer-mode
+//! dataflow with per-tile shared exponents — via
+//! [`BlockFpGemm`](daism_core::BlockFpGemm); [`blockfp_gemm`] is the
+//! standalone matrix entry point.
 //!
 //! # Example
 //!

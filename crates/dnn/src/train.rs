@@ -128,8 +128,14 @@ pub fn fit(
     history
 }
 
-/// Classification accuracy of `model` on `(x, labels)` under `mul`.
-pub fn accuracy(model: &mut Sequential, x: &Tensor, labels: &[usize], mul: &dyn ScalarMul) -> f32 {
+/// The shared chunked-evaluation loop behind [`accuracy`] and
+/// [`accuracy_blockfp`]: `forward` maps an input batch to logits.
+fn accuracy_with(
+    model: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    forward: impl Fn(&mut Sequential, &Tensor) -> Tensor,
+) -> f32 {
     // Evaluate in chunks to bound activation memory.
     let n = x.shape()[0];
     let chunk = 64usize;
@@ -137,7 +143,7 @@ pub fn accuracy(model: &mut Sequential, x: &Tensor, labels: &[usize], mul: &dyn 
     let mut start = 0;
     while start < n {
         let end = (start + chunk).min(n);
-        let logits = model.forward(&slice_batch(x, start, end), mul, false);
+        let logits = forward(model, &slice_batch(x, start, end));
         let pred = logits.argmax_rows();
         correct += pred.iter().zip(&labels[start..end]).filter(|(p, l)| p == l).count();
         start = end;
@@ -145,12 +151,30 @@ pub fn accuracy(model: &mut Sequential, x: &Tensor, labels: &[usize], mul: &dyn 
     correct as f32 / n as f32
 }
 
+/// Classification accuracy of `model` on `(x, labels)` under `mul`.
+pub fn accuracy(model: &mut Sequential, x: &Tensor, labels: &[usize], mul: &dyn ScalarMul) -> f32 {
+    accuracy_with(model, x, labels, |m, xb| m.forward(xb, mul, false))
+}
+
+/// Classification accuracy of `model` on `(x, labels)` with every layer
+/// GEMM routed through the **block-floating-point** engine — the
+/// paper's BlockFp inference scenario, end to end (train in float,
+/// deploy on the integer-mode approximate datapath).
+pub fn accuracy_blockfp(
+    model: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    engine: &daism_core::BlockFpGemm,
+) -> f32 {
+    accuracy_with(model, x, labels, |m, xb| m.forward_blockfp(xb, engine))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::datasets;
     use crate::models;
-    use daism_core::{ApproxFpMul, ExactMul, MultiplierConfig, QuantizedExactMul};
+    use daism_core::{ApproxFpMul, BlockFpGemm, ExactMul, MultiplierConfig, QuantizedExactMul};
     use daism_num::FpFormat;
 
     #[test]
@@ -219,6 +243,25 @@ mod tests {
         // The Fig. 4 shape: approximate accuracy close to the baseline.
         assert!(bf16 > exact - 0.1, "bf16 {bf16} vs exact {exact}");
         assert!(pc3 > exact - 0.15, "pc3 {pc3} vs exact {exact}");
+    }
+
+    #[test]
+    fn trained_model_survives_blockfp_inference() {
+        // The paper's BlockFp deployment scenario end to end: train in
+        // float, then run inference entirely on the block-floating-point
+        // integer datapath (per-tile exponents, OR-approximate mantissa
+        // products). Accuracy must stay close to the float baseline.
+        let data = datasets::gaussian_blobs(3, 8, 150, 60, 13);
+        let mut model = models::mlp(8, 16, 3, 1);
+        fit(&mut model, &data, &ExactMul, &TrainParams { epochs: 6, ..TrainParams::quick_test() });
+        let exact = accuracy(&mut model, &data.test_x, &data.test_y, &ExactMul);
+        let engine = BlockFpGemm::new(MultiplierConfig::PC3_TR, 12);
+        let bfp = accuracy_blockfp(&mut model, &data.test_x, &data.test_y, &engine);
+        assert!(bfp > exact - 0.15, "blockfp {bfp} vs exact {exact}");
+        // A coarser mantissa on the weakest multiplier still beats chance.
+        let fla = BlockFpGemm::new(MultiplierConfig::FLA, 8);
+        let coarse = accuracy_blockfp(&mut model, &data.test_x, &data.test_y, &fla);
+        assert!(coarse > 0.4, "coarse blockfp accuracy {coarse}");
     }
 
     #[test]

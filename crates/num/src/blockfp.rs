@@ -1,6 +1,3 @@
-use crate::format::FpFormat;
-use crate::scalar::{FpClass, FpScalar};
-
 /// A block-floating-point (BFP) encoding of a slice of values: signed
 /// mantissas sharing a single exponent.
 ///
@@ -12,6 +9,18 @@ use crate::scalar::{FpClass, FpScalar};
 /// (the `- 2` leaves headroom for the sign and for the leading digit of the
 /// largest element, whose magnitude may reach just under
 /// `2^(shared_exp + 1)`).
+///
+/// Mantissas are **symmetric**: every value clamps to
+/// `±(2^(man_width-1) - 1)`, so a mantissa *magnitude* always fits in
+/// `man_width - 1` bits. This is what lets the integer-mode DAISM
+/// multiplier consume magnitudes directly — there is no
+/// `-2^(man_width-1)` two's-complement extreme whose magnitude would
+/// overflow the multiplier's operand width and silently saturate (the
+/// `i32::MIN`-style bug the earlier asymmetric clamp exposed downstream).
+/// The cost is that a largest-magnitude element whose mantissa would
+/// round to `±2^(man_width-1)` (the top sliver of its octave, either
+/// sign) clamps and can carry up to one quantization step of error
+/// instead of half a step; see [`quantize`](BlockFp::quantize).
 ///
 /// # Examples
 ///
@@ -30,12 +39,42 @@ pub struct BlockFp {
     mantissas: Vec<i32>,
 }
 
+/// Unbiased binary exponent of a nonzero finite `f32`, exact for
+/// subnormals too: the value is widened to `f64` (where every `f32`
+/// subnormal is normal) and the exponent read from the bits. `None` for
+/// zeros and non-finite values, which contribute no exponent to a block.
+fn f32_exponent(v: f32) -> Option<i32> {
+    if v == 0.0 || !v.is_finite() {
+        return None;
+    }
+    let bits = (v.abs() as f64).to_bits();
+    Some(((bits >> 52) & 0x7FF) as i32 - 1023)
+}
+
 impl BlockFp {
     /// Quantizes `values` into a block with `man_width`-bit signed
     /// mantissas (including the sign's magnitude bit; `man_width >= 2`).
     ///
     /// The shared exponent is the largest element exponent; smaller
-    /// elements lose low-order bits (standard BFP behaviour).
+    /// elements lose low-order bits (standard BFP behaviour). Subnormal
+    /// inputs carry their true exponent (they are *not* flushed to zero
+    /// at this stage — a block of tiny values keeps its information; they
+    /// only round to zero when sharing a block with much larger values,
+    /// which is the BFP error model, not a flush).
+    ///
+    /// Rounding is to nearest, ties away from zero, followed by a
+    /// **symmetric** clamp to `±(2^(man_width-1) - 1)`: a mantissa
+    /// magnitude always fits `man_width - 1` bits, so integer datapaths
+    /// consuming [`mantissas`](Self::mantissas) never need to saturate.
+    /// Every element therefore reconstructs within half a quantization
+    /// step, except an extreme whose mantissa rounds to exactly
+    /// `±2^(man_width-1)` (either sign — a max-magnitude element in the
+    /// top half-step sliver of its octave), which clamps and may carry
+    /// up to one full step.
+    ///
+    /// Non-finite values cannot be represented: `NaN` quantizes to `0`
+    /// and `±inf` saturates to the clamp limit (neither contributes to
+    /// the shared exponent).
     ///
     /// # Panics
     ///
@@ -45,40 +84,83 @@ impl BlockFp {
             (2..=31).contains(&man_width),
             "mantissa width {man_width} outside supported range 2..=31"
         );
-        let shared_exp = values
-            .iter()
-            .map(|&v| {
-                let s = FpScalar::from_f32(v, FpFormat::FP32);
-                if s.class() == FpClass::Normal {
-                    s.exponent()
-                } else {
-                    i32::MIN
-                }
-            })
-            .max()
-            .unwrap_or(i32::MIN);
+        let shared_exp = values.iter().filter_map(|&v| f32_exponent(v)).max();
 
-        if shared_exp == i32::MIN {
-            // All-zero (or non-finite-free empty) block.
+        let Some(shared_exp) = shared_exp else {
+            // All-zero (or all-non-finite, or empty) block.
             return BlockFp { shared_exp: 0, man_width, mantissas: vec![0; values.len()] };
-        }
+        };
 
         let scale = 2f64.powi(man_width as i32 - 2 - shared_exp);
         let limit = (1i64 << (man_width - 1)) - 1;
         let mantissas = values
             .iter()
             .map(|&v| {
+                // `v as f64 * scale` is exact (f64 covers the product of
+                // any finite f32 and a power of two in this exponent
+                // range); `round` ties away from zero; NaN casts to 0.
                 let q = (v as f64 * scale).round() as i64;
-                q.clamp(-limit - 1, limit) as i32
+                q.clamp(-limit, limit) as i32
             })
             .collect();
         BlockFp { shared_exp, man_width, mantissas }
     }
 
+    /// Quantizes a row-major `rows × row_len` matrix into **one block per
+    /// `seg_len`-wide row segment**: row `r` becomes the consecutive
+    /// blocks `r * ceil(row_len / seg_len) ..`, each holding up to
+    /// `seg_len` elements with its own shared exponent. The final segment
+    /// of a row is short when `seg_len` does not divide `row_len`.
+    ///
+    /// This is the sub-block quantization the tiled BlockFp GEMM engine
+    /// uses for its A operand (one exponent per `(row, k-tile)` pair
+    /// instead of one per matrix): each block is produced by
+    /// [`quantize`](Self::quantize) on the segment's values, so the
+    /// per-element semantics are identical — only the exponent-sharing
+    /// granularity changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg_len == 0`, if `row_len == 0` while `values` is
+    /// non-empty, or if `values.len()` is not a multiple of `row_len`.
+    pub fn quantize_rows(
+        values: &[f32],
+        row_len: usize,
+        seg_len: usize,
+        man_width: u32,
+    ) -> Vec<Self> {
+        assert!(seg_len > 0, "segment length must be positive");
+        if values.is_empty() {
+            return Vec::new();
+        }
+        assert!(row_len > 0, "row length must be positive for non-empty values");
+        assert!(
+            values.len().is_multiple_of(row_len),
+            "values length {} is not a multiple of row length {row_len}",
+            values.len()
+        );
+        let segs_per_row = row_len.div_ceil(seg_len);
+        let mut blocks = Vec::with_capacity((values.len() / row_len) * segs_per_row);
+        for row in values.chunks_exact(row_len) {
+            for seg in row.chunks(seg_len) {
+                blocks.push(Self::quantize(seg, man_width));
+            }
+        }
+        blocks
+    }
+
     /// Reconstructs the approximated values.
     pub fn dequantize(&self) -> Vec<f32> {
-        let scale = 2f64.powi(self.shared_exp - (self.man_width as i32 - 2));
+        let scale = self.scale();
         self.mantissas.iter().map(|&m| (m as f64 * scale) as f32).collect()
+    }
+
+    /// The value of one mantissa unit: `2^(shared_exp - (man_width - 2))`.
+    /// `value[i] ≈ mantissas[i] * scale()`; this is also the block's
+    /// quantization step.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        2f64.powi(self.shared_exp - (self.man_width as i32 - 2))
     }
 
     /// The shared (unbiased) exponent of the block.
@@ -93,7 +175,9 @@ impl BlockFp {
         self.man_width
     }
 
-    /// The signed integer mantissas.
+    /// The signed integer mantissas. Magnitudes are guaranteed to fit
+    /// `man_width - 1` bits (symmetric clamp, see
+    /// [`quantize`](Self::quantize)).
     #[inline]
     pub fn mantissas(&self) -> &[i32] {
         &self.mantissas
@@ -148,6 +232,7 @@ mod tests {
     #[test]
     fn all_zero_block() {
         let block = BlockFp::quantize(&[0.0, 0.0, -0.0], 8);
+        assert_eq!(block.shared_exp(), 0);
         assert_eq!(block.dequantize(), vec![0.0, 0.0, 0.0]);
     }
 
@@ -167,11 +252,120 @@ mod tests {
     }
 
     #[test]
-    fn negative_extreme_clamps() {
-        // -1.0 with max exp 0 and width 4: scale 2^3, q = -8 = -limit-1.
+    fn mantissa_magnitudes_fit_multiplier_width() {
+        // The symmetric clamp: no mantissa magnitude may need man_width-1
+        // bits plus one — the integer multiplier consumes magnitudes
+        // directly and must never saturate. -1.99 at width 4 would round
+        // to -8 (= -2^3); it must clamp to -7 instead.
+        for width in [2u32, 4, 8, 16, 31] {
+            let limit = (1u32 << (width - 1)) - 1;
+            let block = BlockFp::quantize(&[-1.99, -1.0, 0.9, 1.99], width);
+            for &m in block.mantissas() {
+                assert!(m.unsigned_abs() <= limit, "width {width}: mantissa {m} exceeds ±{limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_extreme_saturates_symmetrically() {
+        // -1.0 with max exp 0 and width 4: scale 2^2, q = -4 — exact.
         let block = BlockFp::quantize(&[-1.0, 0.9], 4);
+        assert_eq!(block.dequantize()[0], -1.0);
+        // -1.99 rounds to -8 = -2^3, which clamps to -7: within one step
+        // (0.25) instead of half a step — the documented symmetric-clamp
+        // trade-off.
+        let block = BlockFp::quantize(&[-1.99, 0.9], 4);
         let back = block.dequantize();
-        assert_eq!(back[0], -1.0);
+        assert_eq!(back[0], -1.75);
+        assert!((back[0] - -1.99f32).abs() <= 0.25 + 1e-6);
+    }
+
+    #[test]
+    fn positive_extreme_saturates_symmetrically() {
+        // The positive twin of the negative extreme: 524200.0 at width
+        // 12 has its mantissa round to +2^11, which clamps to +2047 —
+        // within one step instead of half.
+        let block = BlockFp::quantize(&[524200.0f32], 12);
+        assert_eq!(block.mantissas()[0], (1 << 11) - 1);
+        let back = block.dequantize()[0];
+        assert!(((back - 524200.0).abs() as f64) <= block.scale() * 1.0000001);
+    }
+
+    #[test]
+    fn subnormal_only_block_is_not_flushed() {
+        // All-subnormal inputs used to flush to an all-zero block (their
+        // FpScalar decode classifies them as Zero); the bit-level f64
+        // exponent keeps them.
+        let v = f32::MIN_POSITIVE / 4.0; // subnormal
+        let block = BlockFp::quantize(&[v, -v, v / 2.0], 12);
+        let back = block.dequantize();
+        assert!(back[0] > 0.0, "subnormal flushed: {:?}", back);
+        assert!((back[0] - v).abs() / v < 2e-3);
+        assert!((back[1] + v).abs() / v < 2e-3);
+        assert!((back[2] - v / 2.0).abs() / (v / 2.0) < 2e-3);
+    }
+
+    #[test]
+    fn huge_dynamic_range_keeps_largest_and_zeroes_tiniest() {
+        let values = [3.3e38f32, -1.2e-38, 4.7e-41];
+        let block = BlockFp::quantize(&values, 12);
+        let back = block.dequantize();
+        assert!((back[0] - values[0]).abs() / values[0] < 2e-3);
+        assert_eq!(back[1], 0.0);
+        assert_eq!(back[2], 0.0);
+    }
+
+    #[test]
+    fn non_finite_values_do_not_poison_the_block() {
+        let block = BlockFp::quantize(&[f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.0], 8);
+        // Exponent comes from the finite 1.0; NaN quantizes to 0, ±inf
+        // saturates to the clamp limit.
+        assert_eq!(block.shared_exp(), 0);
+        assert_eq!(block.mantissas()[0], 0);
+        let limit = (1i32 << 7) - 1;
+        assert_eq!(block.mantissas()[1], limit);
+        assert_eq!(block.mantissas()[2], -limit);
+        assert_eq!(block.dequantize()[3], 1.0);
+    }
+
+    #[test]
+    fn quantize_rows_matches_per_segment_quantize() {
+        // 2 rows of 5, segment 2: blocks are [0..2], [2..4], [4..5] per row.
+        let values: Vec<f32> = (0..10).map(|i| (i as f32 - 4.5) * 1.3).collect();
+        let blocks = BlockFp::quantize_rows(&values, 5, 2, 9);
+        assert_eq!(blocks.len(), 6);
+        for (r, row) in values.chunks(5).enumerate() {
+            for (s, seg) in row.chunks(2).enumerate() {
+                assert_eq!(blocks[r * 3 + s], BlockFp::quantize(seg, 9), "row {r} seg {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_rows_whole_row_segments() {
+        let values: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0];
+        // seg_len >= row_len: one block per row.
+        let blocks = BlockFp::quantize_rows(&values, 2, 8, 8);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0], BlockFp::quantize(&[1.0, 2.0], 8));
+        assert_eq!(blocks[1], BlockFp::quantize(&[3.0, 4.0], 8));
+    }
+
+    #[test]
+    fn quantize_rows_empty_is_empty() {
+        assert!(BlockFp::quantize_rows(&[], 0, 4, 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn quantize_rows_rejects_ragged_input() {
+        let _ = BlockFp::quantize_rows(&[1.0, 2.0, 3.0], 2, 1, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment length")]
+    fn quantize_rows_rejects_zero_segment() {
+        let _ = BlockFp::quantize_rows(&[1.0, 2.0], 2, 0, 8);
     }
 
     #[test]
@@ -185,5 +379,13 @@ mod tests {
         let values = [0.5f32, 1.0, -0.75];
         let block = BlockFp::quantize(&values, 16);
         assert!(block.max_rel_error(&values) < 1e-4);
+    }
+
+    #[test]
+    fn scale_is_the_dequantization_step() {
+        let block = BlockFp::quantize(&[1.0, 0.5], 8);
+        assert_eq!(block.scale(), 2f64.powi(-(8 - 2)));
+        let back = block.dequantize();
+        assert_eq!(back[0] as f64, block.mantissas()[0] as f64 * block.scale());
     }
 }

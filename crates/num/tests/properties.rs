@@ -69,11 +69,84 @@ proptest! {
         let back = block.dequantize();
         let max_abs = values.iter().fold(0f32, |m, v| m.max(v.abs()));
         prop_assume!(max_abs > 0.0 && max_abs.is_normal());
-        // Absolute error bounded by one quantization step of the block.
-        let step = 2f64.powi(block.shared_exp() - (width as i32 - 2));
+        // Half a quantization step everywhere, except the ±limit
+        // extremes, where a mantissa rounding to ±2^(w-1) clamps
+        // symmetrically and costs up to one full step (see
+        // BlockFp::quantize docs — both signs can hit this).
+        let step = block.scale();
+        let limit = ((1i64 << (width - 1)) - 1) as u32;
+        for (o, b, &m) in values.iter().zip(&back).zip(block.mantissas()).map(|((o, b), m)| (o, b, m)) {
+            let bound = if m.unsigned_abs() == limit { step } else { step * 0.5 };
+            prop_assert!(((o - b).abs() as f64) <= bound * 1.0000001,
+                "error {} exceeds bound {} (mantissa {})", (o - b).abs(), bound, m);
+        }
+    }
+
+    #[test]
+    fn blockfp_mantissa_magnitudes_always_fit_multiplier_width(
+        values in prop::collection::vec(any::<f32>(), 1..48),
+        width in 2u32..=31,
+    ) {
+        // The symmetric-clamp contract the integer-mode DAISM multiplier
+        // relies on: |mantissa| <= 2^(width-1) - 1 for *any* input —
+        // including NaN, infinities, subnormals and the most-negative
+        // rounding extreme — so magnitudes never overflow width-1 bits.
+        let block = BlockFp::quantize(&values, width);
+        let limit = (1u32 << (width - 1)) - 1;
+        for &m in block.mantissas() {
+            prop_assert!(m.unsigned_abs() <= limit,
+                "width {}: mantissa {} exceeds ±{}", width, m, limit);
+        }
+    }
+
+    #[test]
+    fn blockfp_subnormal_blocks_roundtrip(
+        scale_bits in 0u32..22,
+        seed in 0u64..1000,
+    ) {
+        // A block made entirely of subnormals keeps its information: the
+        // shared exponent is taken from the f64-widened values, not from
+        // a flush-to-zero f32 decode.
+        let base = f32::from_bits(1u32 << scale_bits); // subnormal for scale_bits < 23
+        let values: Vec<f32> = (0..8)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                let f = ((h % 512) as f32 - 256.0) / 128.0; // in [-2, 2)
+                base * f
+            })
+            .collect();
+        prop_assume!(values.iter().any(|v| *v != 0.0));
+        let block = BlockFp::quantize(&values, 16);
+        let back = block.dequantize();
+        let step = block.scale();
         for (o, b) in values.iter().zip(&back) {
-            prop_assert!(((o - b).abs() as f64) <= step * 0.5000001,
-                "error {} exceeds step {}", (o - b).abs(), step);
+            prop_assert!(((o - b).abs() as f64) <= step * 1.0000001,
+                "subnormal roundtrip error {} exceeds step {}", (o - b).abs(), step);
+        }
+    }
+
+    #[test]
+    fn blockfp_quantize_rows_segments_are_independent_blocks(
+        rows in 1usize..5,
+        row_len in 1usize..9,
+        seg_len in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let values: Vec<f32> = (0..rows * row_len)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+                ((h % 4001) as f32 - 2000.0) / 8.0
+            })
+            .collect();
+        let blocks = BlockFp::quantize_rows(&values, row_len, seg_len, 10);
+        let segs_per_row = row_len.div_ceil(seg_len);
+        prop_assert_eq!(blocks.len(), rows * segs_per_row);
+        for (r, row) in values.chunks(row_len).enumerate() {
+            for (s, seg) in row.chunks(seg_len).enumerate() {
+                let expect = BlockFp::quantize(seg, 10);
+                prop_assert_eq!(&blocks[r * segs_per_row + s], &expect,
+                    "row {} segment {} disagrees with standalone quantize", r, s);
+            }
         }
     }
 

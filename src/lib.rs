@@ -44,7 +44,7 @@ pub use daism_sram as sram;
 
 pub use daism_arch::{DaismConfig, DaismModel, EyerissModel, FunctionalDaism, GemmShape};
 pub use daism_core::{
-    gemm, gemm_reference, ApproxFpMul, ExactMul, MantissaMultiplier, MultiplierConfig,
+    gemm, gemm_reference, ApproxFpMul, BlockFpGemm, ExactMul, MantissaMultiplier, MultiplierConfig,
     MultiplierKind, OperandMode, PreparedMultiplicand, QuantizedExactMul, ScalarMul,
     SramMultiplier,
 };
