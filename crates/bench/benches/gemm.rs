@@ -1,16 +1,17 @@
 //! GEMM throughput: backend comparison at 32³ (the cost of simulating
 //! approximate arithmetic), plus the engine trajectory — scalar
-//! reference vs serial tiled vs serial prepared-panel vs tiled+parallel
-//! — at 64³ and 256³ for the exact and PC3_tr backends. The ≥4×
-//! engine-vs-reference target for 256³ PC3 on a multi-core runner and
-//! the prepared-vs-tiled single-core win are tracked here (see also the
-//! `bench_gemm_json` bin, which emits the same trajectory as
+//! reference vs serial tiled vs serial prepared-panel vs the serial
+//! lane-packed **microkernel** layer vs tiled+parallel — at 64³ and
+//! 256³ for the exact and PC3_tr backends. The ≥4× engine-vs-reference
+//! target for 256³ PC3 on a multi-core runner and the
+//! microkernel-vs-reference single-core win are tracked here (see also
+//! the `bench_gemm_json` bin, which emits the same trajectory as
 //! machine-readable `BENCH_gemm.json`).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use daism_core::{
-    gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, BlockFpGemm, ExactMul,
-    MultiplierConfig, QuantizedExactMul, ScalarMul,
+    gemm_microkernel_serial, gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul,
+    BlockFpGemm, ExactMul, MultiplierConfig, QuantizedExactMul, ScalarMul,
 };
 use daism_dnn::gemm;
 use daism_num::FpFormat;
@@ -133,6 +134,21 @@ fn gemm_engine_trajectory(c: &mut Criterion) {
                 bench.iter(|| {
                     let mut out = vec![0.0f32; m * n];
                     gemm_prepared_serial(
+                        backend.as_ref(),
+                        black_box(&a),
+                        black_box(&b),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                    );
+                    black_box(out)
+                })
+            });
+            group.bench_function(format!("{name}/microkernel"), |bench| {
+                bench.iter(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_microkernel_serial(
                         backend.as_ref(),
                         black_box(&a),
                         black_box(&b),

@@ -58,21 +58,28 @@ pub fn run() -> Result<Ablations, ArchError> {
     });
 
     // 3. PC-k ladder at the architecture level: PC3_tr (8 lines) vs
-    //    PC2_tr (7 lines -> more groups) vs FLA full.
-    for (mult, lines, width) in [
+    //    PC2_tr (7 lines -> more groups) vs FLA full. The three rungs
+    //    are independent model builds — fan them out over the pool,
+    //    rungs returned in ladder order.
+    let ladder = [
         (MultiplierConfig::PC3_TR, 8usize, 16u32),
         (MultiplierConfig::PC2_TR, 7, 16),
         (MultiplierConfig::FLA, 8, 16),
-    ] {
+    ];
+    let rungs: Result<Vec<Comparison>, ArchError> = crate::par::join_ordered(ladder.len(), |i| {
+        let (mult, lines, width) = ladder[i];
         let cfg = DaismConfig { mult, ..DaismConfig::paper_16x8kb() }.with_geometry(lines, width);
         let e = DaismModel::new(cfg)?.energy(&gemm)?;
-        comparisons.push(Comparison {
+        Ok(Comparison {
             name: format!("multiplier config {mult}"),
             a: ("energy/MAC".into(), e.pj_per_mac),
             b: ("GOPS/mW".into(), e.gops_per_mw),
             unit: "pJ | GOPS/mW",
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect();
+    comparisons.extend(rungs?);
 
     // 4. Clock scaling: 1 GHz vs 200 MHz energy efficiency (leakage
     //    share grows at low clocks).

@@ -1,6 +1,6 @@
 //! Machine-readable GEMM perf trajectory: times the scalar reference,
-//! the PR-1 serial tiled kernel, the serial prepared-panel kernel and
-//! the full parallel engine for the exact-f32 and bf16/PC3_tr backends —
+//! the serial **lane-packed microkernel** layer and the full
+//! auto-dispatched engine for the exact-f32 and bf16/PC3_tr backends —
 //! plus the **block-floating-point** engine (whole-matrix baseline,
 //! scalar reference, serial tiled, parallel) — then writes
 //! `BENCH_gemm.json` so speedups are tracked across PRs without parsing
@@ -14,31 +14,48 @@
 //! cargo run --release -p daism-bench --bin bench_gemm_json -- --out path.json
 //! ```
 //!
+//! Variants per float backend (each one a path the dispatch layer can
+//! actually select, so the guard below is meaningful):
+//!
+//! * `reference` — the scalar loop, the semantic anchor;
+//! * `microkernel` — the serial lane-packed layer
+//!   ([`gemm_microkernel_serial`]): the packed register-tile `f32`
+//!   kernel for `exact_f32`, the SoA lane-packed prepared-panel kernel
+//!   for the approximate backend;
+//! * `parallel` — the auto-dispatched engine ([`gemm`]), which adds the
+//!   thread gate on top.
+//!
+//! For the blockfp backend `tiled` *is* the lane-packed engine (one
+//! chunk spanning all rows); `parallel` adds the worker pool.
+//!
 //! Each (size, backend, variant) cell reports the best and median of a
 //! few timed repetitions (best-of filters scheduler noise; the median
-//! shows spread). Derived speedups versus the reference and versus the
-//! tiled kernel are included per cell so the JSON is self-describing.
+//! shows spread). Derived speedups versus the reference are included
+//! per cell so the JSON is self-describing.
 //!
-//! The blockfp cells double as a CI guard: before timing, the engine's
-//! output is validated — all-finite, no scale blowup against the exact
-//! f32 GEMM, and byte-identical across repeats and chunk sizes (the
-//! thread-count seam) — and the process exits non-zero on any violation.
+//! # Guards (CI gates, non-zero exit on violation)
+//!
+//! * **Dispatch guard**: at sizes ≥ 64³ every non-`reference` row must
+//!   measure `speedup_vs_reference ≥ 0.95` — the dispatch layer must
+//!   never pick a variant that loses to the naive loop (the PR-1/PR-2
+//!   exact-f32 regression this PR fixes). Smaller smoke sizes are below
+//!   timing resolution and are exempt.
+//! * **BlockFp validation**: before timing, the engine's output is
+//!   checked — all-finite, no scale blowup against the exact f32 GEMM,
+//!   byte-identical across repeats and chunk sizes (the thread-count
+//!   seam).
 
 use daism_core::{
-    gemm, gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, BlockFpGemm,
-    ExactMul, MultiplierConfig, ScalarMul,
+    gemm, gemm_microkernel_serial, gemm_reference, ApproxFpMul, BlockFpGemm, ExactMul,
+    MultiplierConfig, ScalarMul,
 };
 use daism_num::FpFormat;
 use std::time::Instant;
 
 type GemmFn = fn(&dyn ScalarMul, &[f32], &[f32], &mut [f32], usize, usize, usize);
 
-const VARIANTS: &[(&str, GemmFn)] = &[
-    ("reference", gemm_reference),
-    ("tiled", gemm_tiled_serial),
-    ("prepared", gemm_prepared_serial),
-    ("parallel", gemm),
-];
+const VARIANTS: &[(&str, GemmFn)] =
+    &[("reference", gemm_reference), ("microkernel", gemm_microkernel_serial), ("parallel", gemm)];
 
 type BlockFpFn = fn(&BlockFpGemm, &[f32], &[f32], &mut [f32], usize, usize, usize);
 
@@ -51,8 +68,8 @@ fn blockfp_tiled_serial(
     k: usize,
     n: usize,
 ) {
-    // One chunk spanning all rows: the tiled kernel without row
-    // parallelism, so the tiling win is visible next to `parallel`.
+    // One chunk spanning all rows: the lane-packed tiled kernel without
+    // row parallelism, so the engine win is visible next to `parallel`.
     e.execute_chunked(a, b, c, m, k, n, m.max(1));
 }
 
@@ -71,6 +88,10 @@ const BLOCKFP_VARIANTS: &[(&str, BlockFpFn)] = &[
 /// memoized product LUT (the configuration the accelerator actually
 /// targets).
 const BLOCKFP_WIDTH: u32 = 9;
+
+/// Smallest size the dispatch guard applies to: below this a cell runs
+/// in microseconds and scheduler noise swamps the 5% margin.
+const GUARD_MIN_SIZE: usize = 64;
 
 fn test_operands(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
     // Same deterministic fill as benches/gemm.rs, so numbers line up.
@@ -172,6 +193,39 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Best reference time for a cell's (size, backend) group.
+fn reference_ns(cells: &[Cell], cell: &Cell) -> u128 {
+    cells
+        .iter()
+        .find(|c| c.size == cell.size && c.backend == cell.backend && c.variant == "reference")
+        .map(|c| c.best_ns)
+        .unwrap_or(0)
+}
+
+/// The dispatch guard: at guarded sizes, no emitted non-reference row
+/// may lose more than 5% to the naive reference — if one does, the
+/// dispatch layer (or a kernel) has regressed. Exits non-zero.
+fn enforce_dispatch_guard(cells: &[Cell]) {
+    let mut failed = false;
+    for cell in cells.iter().filter(|c| c.size >= GUARD_MIN_SIZE && c.variant != "reference") {
+        let reference = reference_ns(cells, cell);
+        if reference == 0 || cell.best_ns == 0 {
+            continue;
+        }
+        let speedup = reference as f64 / cell.best_ns as f64;
+        if speedup < 0.95 {
+            eprintln!(
+                "dispatch guard failed: {}^3 {} {} at {speedup:.3}x vs reference",
+                cell.size, cell.backend, cell.variant
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -195,7 +249,7 @@ fn main() {
         for (bname, backend) in &backends {
             for (vname, f) in VARIANTS {
                 let (best, median) = time_cell(*f, backend.as_ref(), size, reps);
-                eprintln!("{size}^3 {bname:>12} {vname:>9}: best {best} ns, median {median} ns");
+                eprintln!("{size}^3 {bname:>12} {vname:>11}: best {best} ns, median {median} ns");
                 cells.push(Cell {
                     size,
                     backend: (*bname).to_string(),
@@ -221,44 +275,29 @@ fn main() {
         }
     }
 
+    enforce_dispatch_guard(&cells);
+
     // Hand-rolled JSON (no serde in the offline container).
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"daism-bench-gemm/1\",\n");
+    json.push_str("  \"schema\": \"daism-bench-gemm/2\",\n");
     json.push_str("  \"emitter\": \"bench_gemm_json\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"threads\": {},\n", rayon_threads()));
     json.push_str(&format!("  \"reps_per_cell\": {reps},\n"));
     json.push_str("  \"results\": [\n");
     for (i, cell) in cells.iter().enumerate() {
-        let reference = cells
-            .iter()
-            .find(|c| c.size == cell.size && c.backend == cell.backend && c.variant == "reference")
-            .map(|c| c.best_ns)
-            .unwrap_or(0);
-        let tiled = cells
-            .iter()
-            .find(|c| c.size == cell.size && c.backend == cell.backend && c.variant == "tiled")
-            .map(|c| c.best_ns)
-            .unwrap_or(0);
-        let speedup = |base: u128| {
-            if cell.best_ns == 0 {
-                0.0
-            } else {
-                base as f64 / cell.best_ns as f64
-            }
-        };
+        let reference = reference_ns(&cells, cell);
+        let speedup = if cell.best_ns == 0 { 0.0 } else { reference as f64 / cell.best_ns as f64 };
         json.push_str(&format!(
             "    {{\"size\": {}, \"backend\": \"{}\", \"variant\": \"{}\", \
-             \"best_ns\": {}, \"median_ns\": {}, \
-             \"speedup_vs_reference\": {:.3}, \"speedup_vs_tiled\": {:.3}}}{}\n",
+             \"best_ns\": {}, \"median_ns\": {}, \"speedup_vs_reference\": {:.3}}}{}\n",
             cell.size,
             json_escape(&cell.backend),
             cell.variant,
             cell.best_ns,
             cell.median_ns,
-            speedup(reference),
-            speedup(tiled),
+            speedup,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

@@ -1,19 +1,37 @@
-//! Runs every table/figure regenerator in sequence (Fig. 4 at reduced
-//! scale unless --full is passed), plus the reproduction's extensions.
+//! Runs every table/figure regenerator (Fig. 4 at reduced scale unless
+//! --full is passed), plus the reproduction's extensions.
+//!
+//! The runners are independent, so they fan out over the worker pool
+//! via [`daism_bench::par::join_ordered`]; each renders to a string and
+//! the sections print in the fixed order below, so the output is
+//! **byte-identical** across `RAYON_NUM_THREADS` settings (runners that
+//! are pool-parallel inside — the GEMM-backed ones — already guarantee
+//! this per section).
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    println!("{}", daism_bench::table1::run());
-    println!("{}", daism_bench::table2::run().expect("table2"));
-    println!("{}", daism_bench::table3::run());
     let scale = if full { daism_bench::fig4::Scale::Full } else { daism_bench::fig4::Scale::Quick };
-    println!("{}", daism_bench::fig4::run(scale));
-    println!("{}", daism_bench::fig5::run());
-    println!("{}", daism_bench::fig6::run());
-    println!("{}", daism_bench::fig7::run().expect("fig7"));
-    println!("{}", daism_bench::fig8::run());
-    println!("{}", daism_bench::error_tables::run(50_000));
-    println!("{}", daism_bench::ablations::run().expect("ablations"));
-    println!("{}", daism_bench::vgg8_e2e::run().expect("vgg8_e2e"));
-    println!("{}", daism_bench::fault_study::run(daism_core::MultiplierConfig::PC3, 1024, 0xFA17));
-    println!("{}", daism_bench::format_sweep::run(daism_core::MultiplierConfig::PC3, 50_000));
+    type Job = Box<dyn Fn() -> String + Send + Sync>;
+    let jobs: Vec<Job> = vec![
+        Box::new(|| daism_bench::table1::run().to_string()),
+        Box::new(|| daism_bench::table2::run().expect("table2").to_string()),
+        Box::new(|| daism_bench::table3::run().to_string()),
+        Box::new(move || daism_bench::fig4::run(scale).to_string()),
+        Box::new(|| daism_bench::fig5::run().to_string()),
+        Box::new(|| daism_bench::fig6::run().to_string()),
+        Box::new(|| daism_bench::fig7::run().expect("fig7").to_string()),
+        Box::new(|| daism_bench::fig8::run().to_string()),
+        Box::new(|| daism_bench::error_tables::run(50_000).to_string()),
+        Box::new(|| daism_bench::ablations::run().expect("ablations").to_string()),
+        Box::new(|| daism_bench::vgg8_e2e::run().expect("vgg8_e2e").to_string()),
+        Box::new(|| {
+            daism_bench::fault_study::run(daism_core::MultiplierConfig::PC3, 1024, 0xFA17)
+                .to_string()
+        }),
+        Box::new(|| {
+            daism_bench::format_sweep::run(daism_core::MultiplierConfig::PC3, 50_000).to_string()
+        }),
+    ];
+    for section in daism_bench::par::join_ordered(jobs.len(), |i| jobs[i]()) {
+        println!("{section}");
+    }
 }

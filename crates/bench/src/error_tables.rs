@@ -27,10 +27,13 @@ pub struct ErrorTable {
 }
 
 /// Runs the error sweep (exhaustive at bf16, `samples` MC at fp32).
+/// The five configurations fan out over the worker pool
+/// ([`crate::par::join_ordered`]); rows come back in Table I order, so
+/// output is byte-identical across thread counts.
 pub fn run(samples: u64) -> ErrorTable {
-    let rows = MultiplierConfig::ALL
-        .iter()
-        .map(|&config| Row {
+    let rows = crate::par::join_ordered(MultiplierConfig::ALL.len(), |i| {
+        let config = MultiplierConfig::ALL[i];
+        Row {
             config: config.to_string(),
             bf16: exhaustive(&MantissaMultiplier::new(config, OperandMode::Fp, 8)),
             fp32: monte_carlo(
@@ -38,8 +41,8 @@ pub fn run(samples: u64) -> ErrorTable {
                 samples,
                 0xDA15,
             ),
-        })
-        .collect();
+        }
+    });
     ErrorTable { rows, fp32_samples: samples }
 }
 

@@ -121,16 +121,22 @@ pub fn baseline(format: FpFormat) -> BaselineCell {
 }
 
 /// Runs the full Fig. 5 sweep: all Table I configs × {bf16, fp32} ×
-/// {8 kB, 32 kB}, plus the two baselines.
+/// {8 kB, 32 kB}, plus the two baselines. The 20 cells fan out over the
+/// worker pool ([`crate::par::join_ordered`]) and come back in sweep
+/// order, so the printed figure is byte-identical across thread counts.
 pub fn run() -> Fig5 {
-    let mut cells = Vec::new();
+    let mut combos = Vec::new();
     for format in [FpFormat::BF16, FpFormat::FP32] {
         for config in MultiplierConfig::ALL {
             for bank_kb in [8, 32] {
-                cells.push(cell(config, format, bank_kb));
+                combos.push((config, format, bank_kb));
             }
         }
     }
+    let cells = crate::par::join_ordered(combos.len(), |i| {
+        let (config, format, bank_kb) = combos[i];
+        cell(config, format, bank_kb)
+    });
     Fig5 { cells, baselines: vec![baseline(FpFormat::BF16), baseline(FpFormat::FP32)] }
 }
 

@@ -1,0 +1,86 @@
+//! Deterministic fork–join fan-out for per-configuration sweeps.
+//!
+//! The table/figure runners are embarrassingly parallel across
+//! multiplier configurations (and across whole runners in `repro_all`),
+//! but their *output* must stay byte-identical no matter how many
+//! workers the pool has — the property the GEMM engine already
+//! guarantees and `RAYON_NUM_THREADS=1/4` diffs enforce. [`join_ordered`]
+//! provides exactly that: jobs fan out over [`rayon::join`]'s binary
+//! tree, results come back **in index order**, so the only thing
+//! parallelism changes is wall-clock time.
+
+/// Runs `f(0..n)` across the worker pool via a [`rayon::join`] tree and
+/// returns the results in index order.
+///
+/// Each job runs exactly once; panics propagate to the caller (the pool
+/// is panic-safe). Ordering is positional, never completion-time, so
+/// callers that print the results produce byte-identical output across
+/// thread counts.
+///
+/// # Examples
+///
+/// ```
+/// let squares = daism_bench::par::join_ordered(4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9]);
+/// ```
+pub fn join_ordered<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_range(0, n, &f)
+}
+
+fn run_range<T, F>(lo: usize, hi: usize, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match hi - lo {
+        0 => Vec::new(),
+        1 => vec![f(lo)],
+        len => {
+            let mid = lo + len / 2;
+            let (mut left, right) = rayon::join(|| run_range(lo, mid, f), || run_range(mid, hi, f));
+            left.extend(right);
+            left
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = join_ordered(17, |i| i * 3);
+        assert_eq!(out, (0..17).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = join_ordered(64, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(join_ordered(0, |i| i), Vec::<usize>::new());
+        assert_eq!(join_ordered(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn nests_inside_itself() {
+        // repro_all fans out runners that themselves fan out per config
+        // (and run pool-parallel GEMMs) — the pool must not deadlock.
+        let out = join_ordered(4, |i| join_ordered(3, move |j| i * 10 + j));
+        assert_eq!(out[2], vec![20, 21, 22]);
+    }
+}

@@ -1,7 +1,11 @@
 use crate::config::{MultiplierConfig, OperandMode};
-use crate::mantissa::MantissaMultiplier;
+use crate::mantissa::{MantissaMultiplier, PreparedMultiplicand};
 use daism_num::{bits, encode_normal_f32, FpClass, FpFormat, FpScalar};
 use std::fmt;
+
+/// Elements per lane group in the lane-packed approximate multiply
+/// kernel (one [`MantissaMultiplier::mul_lanes`] call per group).
+const LANES: usize = 8;
 
 /// A B row-panel pre-decoded for repeated [`ScalarMul::mul_prepared`]
 /// calls — the operand-conversion work the GEMM engine hoists out of the
@@ -29,19 +33,33 @@ enum PanelData {
     /// [`QuantizedExactMul`]: operands quantized into `format` once,
     /// held as the exact `f64` the per-element multiply consumes.
     Quantized { format: FpFormat, vals: Vec<f64> },
-    /// [`ApproxFpMul`]: operands decoded into `format` once — the
-    /// LUT-ready mantissa plus the exponent/sign the combiner needs.
-    Decoded { format: FpFormat, elems: Vec<DecodedOperand> },
-}
-
-/// One decoded panel element: exactly the fields of
-/// [`FpScalar`] that the approximate multiply pipeline reads per MAC.
-#[derive(Debug, Clone, Copy)]
-struct DecodedOperand {
-    man: u64,
-    exp: i32,
-    sign: bool,
-    class: FpClass,
+    /// [`ApproxFpMul`]: operands decoded into `format` once, held as
+    /// **structure-of-arrays mantissa lanes** so the multiply kernel
+    /// runs branch-free over [`LANES`]-wide groups — the LUT-ready
+    /// mantissas, the exponents/signs the combiner folds, a per-element
+    /// accumulate mask (zero bypass as a bit select, not a branch) and
+    /// a per-group escape flag for the rare Inf/NaN elements that need
+    /// the exact side logic.
+    Decoded {
+        format: FpFormat,
+        /// Mantissas with explicit leading one (`0` for non-normals).
+        mans: Vec<u32>,
+        /// Unbiased exponents (`0` for non-normals).
+        exps: Vec<i32>,
+        /// Sign bits, pre-shifted to the `f32` sign position.
+        signs: Vec<u32>,
+        /// Accumulate mask: `!0` for `Normal`, `0` for zero bypass —
+        /// the lane kernel keeps the C bits through a select instead of
+        /// branching per element.
+        sel: Vec<u32>,
+        /// Per-[`LANES`]-group flag: the group holds an element that
+        /// needs the exact side logic — Inf/NaN, or a nonzero `f32`
+        /// that flushes to format zero, whose signed-zero product the
+        /// scalar path *accumulates* rather than skips — and must take
+        /// the scalar fallback (covers full groups only; the tail group
+        /// is always scalar).
+        exotic: Vec<bool>,
+    },
 }
 
 impl PreparedPanel {
@@ -446,6 +464,91 @@ impl ApproxFpMul {
         // contract) and applies the identical saturation/flush rules.
         encode_normal_f32(sign, exp, man, self.format)
     }
+
+    /// Folds one group of raw mantissa read-outs into the C lanes:
+    /// branch-free renormalise ([`fuse_combine`](Self::fuse_combine)'s
+    /// one-position shift as a select between two uniform shifts),
+    /// branch-free encode (saturation/flush as exponent-range selects)
+    /// and the zero bypass as a bit select on the accumulator — never
+    /// `c + 0.0`, which would flip a negative-zero accumulator. All
+    /// lanes are fixed-width arrays, so the whole fold autovectorizes
+    /// on stable. Only valid when `self.fast_f32` and for read-outs of
+    /// `Normal` operands and exact-zero `f32`s (callers route Inf/NaN
+    /// and flushed-nonzero groups to the scalar fallback).
+    #[inline]
+    fn combine_lanes(
+        &self,
+        raws: &[u64; LANES],
+        exps: &[i32; LANES],
+        signs: &[u32; LANES],
+        sel: &[u32; LANES],
+        xs: &FpScalar,
+        c: &mut [f32; LANES],
+    ) {
+        let n = self.format.mantissa_width();
+        let truncate = self.mult.config().truncate;
+        let (max_exp, min_exp) = (self.format.max_exp(), self.format.min_exp());
+        let frac_mask = bits::mask(n - 1) as u32;
+        let xsign = (xs.sign() as u32) << 31;
+        let xexp = xs.exponent();
+        for j in 0..LANES {
+            let raw = raws[j];
+            // `fuse_combine`'s branch structure as selects: the top
+            // read-out column picks between two *uniform* shifts (no
+            // per-lane shift amounts, which baseline SSE lacks) and the
+            // exponent increment.
+            let (t, man) = if truncate {
+                let t = ((raw >> (n - 1)) & 1) as i32;
+                (t, (if t != 0 { raw } else { raw << 1 }) as u32)
+            } else {
+                let t = ((raw >> (2 * n - 1)) & 1) as i32;
+                (t, (if t != 0 { raw >> n } else { raw >> (n - 1) }) as u32)
+            };
+            let exp = xexp + exps[j] + t;
+            let sign = xsign ^ signs[j];
+            // `encode_normal_f32` with saturation/flush as selects; the
+            // out-of-range lanes' `normal` bits are garbage that the
+            // select discards.
+            let normal = sign | (((exp + 127) as u32) << 23) | ((man & frac_mask) << (24 - n));
+            let pbits = if exp > max_exp {
+                sign | 0x7F80_0000 // saturate to (signed) infinity
+            } else if exp < min_exp {
+                sign // flush to (signed) zero
+            } else {
+                normal
+            };
+            let cv = c[j];
+            let sum = cv + f32::from_bits(pbits);
+            c[j] = f32::from_bits((sum.to_bits() & sel[j]) | (cv.to_bits() & !sel[j]));
+        }
+    }
+
+    /// The scalar per-element multiply-accumulate over a slice of raw B
+    /// values with the multiplicand already decoded and prepared — the
+    /// fallback the lane kernel escapes to for Inf/NaN groups and tail
+    /// elements, and the body of the batched `mul_rows` fast path. Only
+    /// valid when `self.fast_f32` and `xs` is `Normal` (checked by
+    /// callers).
+    fn mul_prepared_scalar_chunk(
+        &self,
+        xs: &FpScalar,
+        prep: &PreparedMultiplicand,
+        bs: &[f32],
+        c: &mut [f32],
+    ) {
+        for (cv, bv) in c.iter_mut().zip(bs) {
+            if *bv == 0.0 {
+                continue; // zero bypass (§III-C) — never touches the array
+            }
+            let ys = FpScalar::from_f32(*bv, self.format);
+            *cv += if ys.class() == FpClass::Normal {
+                let raw = self.mult.multiply_prepared_trusted(prep, ys.mantissa());
+                self.combine_raw_to_f32(xs, &ys, raw)
+            } else {
+                self.mul_scalars(xs, &ys).to_f32()
+            };
+        }
+    }
 }
 
 impl ScalarMul for ApproxFpMul {
@@ -477,18 +580,7 @@ impl ScalarMul for ApproxFpMul {
         }
         let prep = self.mult.prepare(xs.mantissa());
         if self.fast_f32 {
-            for (cv, bv) in c.iter_mut().zip(b) {
-                if *bv == 0.0 {
-                    continue; // zero bypass (§III-C) — never touches the array
-                }
-                let ys = FpScalar::from_f32(*bv, self.format);
-                *cv += if ys.class() == FpClass::Normal {
-                    let raw = self.mult.multiply_prepared_trusted(&prep, ys.mantissa());
-                    self.combine_raw_to_f32(&xs, &ys, raw)
-                } else {
-                    self.mul_scalars(&xs, &ys).to_f32()
-                };
-            }
+            self.mul_prepared_scalar_chunk(&xs, &prep, b, c);
             return;
         }
         for (cv, bv) in c.iter_mut().zip(b) {
@@ -512,25 +604,57 @@ impl ScalarMul for ApproxFpMul {
             // cache, so keep the raw fallback.
             return PreparedPanel { raw: b.to_vec(), data: PanelData::Raw };
         }
-        let elems = b
-            .iter()
-            .map(|&bv| {
-                let ys = FpScalar::from_f32(bv, self.format);
-                if ys.class() == FpClass::Normal {
-                    DecodedOperand {
-                        man: ys.mantissa(),
-                        exp: ys.exponent(),
-                        sign: ys.sign(),
-                        class: FpClass::Normal,
-                    }
-                } else {
-                    // man/exp are never read for non-normal elements; the
-                    // per-element multiply re-derives the scalar then.
-                    DecodedOperand { man: 0, exp: 0, sign: ys.sign(), class: ys.class() }
+        let len = b.len();
+        let mut mans = Vec::with_capacity(len);
+        let mut exps = Vec::with_capacity(len);
+        let mut signs = Vec::with_capacity(len);
+        let mut sel = Vec::with_capacity(len);
+        let mut exotic = vec![false; len / LANES];
+        for (i, &bv) in b.iter().enumerate() {
+            let ys = FpScalar::from_f32(bv, self.format);
+            match ys.class() {
+                FpClass::Normal => {
+                    mans.push(ys.mantissa() as u32);
+                    exps.push(ys.exponent());
+                    signs.push((ys.sign() as u32) << 31);
+                    sel.push(u32::MAX);
                 }
-            })
-            .collect();
-        PreparedPanel { raw: b.to_vec(), data: PanelData::Decoded { format: self.format, elems } }
+                FpClass::Zero => {
+                    // Zero bypass: lane 0 of the product table reads 0,
+                    // and the zeroed select mask keeps C untouched —
+                    // exactly the scalar path's `bv == 0.0` skip.
+                    mans.push(0);
+                    exps.push(0);
+                    signs.push(0);
+                    sel.push(0);
+                    if bv != 0.0 {
+                        // A nonzero f32 that *flushes* to format zero
+                        // (subnormal, or below the format's min
+                        // exponent): the scalar path does NOT skip it —
+                        // it accumulates the signed-zero product, which
+                        // can flip a -0.0 accumulator to +0.0. Route
+                        // the group to the scalar fallback so the lane
+                        // path stays bit-identical.
+                        if let Some(flag) = exotic.get_mut(i / LANES) {
+                            *flag = true;
+                        }
+                    }
+                }
+                FpClass::Inf | FpClass::Nan => {
+                    mans.push(0);
+                    exps.push(0);
+                    signs.push(0);
+                    sel.push(0);
+                    if let Some(flag) = exotic.get_mut(i / LANES) {
+                        *flag = true; // whole group escapes to scalar
+                    }
+                }
+            }
+        }
+        PreparedPanel {
+            raw: b.to_vec(),
+            data: PanelData::Decoded { format: self.format, mans, exps, signs, sel, exotic },
+        }
     }
 
     fn supports_prepared_panels(&self) -> bool {
@@ -540,7 +664,7 @@ impl ScalarMul for ApproxFpMul {
     }
 
     fn mul_prepared(&self, a: f32, panel: &PreparedPanel, c: &mut [f32]) {
-        let PanelData::Decoded { format, elems } = &panel.data else {
+        let PanelData::Decoded { format, mans, exps, signs, sel, exotic } = &panel.data else {
             return self.mul_rows(a, panel.raw(), c);
         };
         if *format != self.format || !self.fast_f32 {
@@ -557,23 +681,51 @@ impl ScalarMul for ApproxFpMul {
             }
             return;
         }
-        // Per-call work: one decode of `a` and one line-pattern (or table
-        // row) derivation. Per-MAC work: a LUT/OR read plus the fused
-        // combine — every cached field is exactly what `mul_rows` would
-        // re-derive, so results stay bit-identical.
+        // Per-call work: one decode of `a` and one line-pattern (or
+        // table row) derivation. Per-MAC work: a product-table (or OR)
+        // read plus a handful of integer ops — the normalise + encode
+        // of `fuse_combine`, re-expressed branch-free so the whole
+        // group vectorizes: renormalise shifts, saturation and the zero
+        // bypass all become selects over fixed-width lanes. Every step
+        // computes exactly the value the scalar path computes, so
+        // results stay bit-identical (the prepared-vs-mul_rows
+        // equivalence tests and the differential GEMM suite enforce
+        // this).
         let prep = self.mult.prepare(xs.mantissa());
-        let (xsign, xexp) = (xs.sign(), xs.exponent());
-        for ((cv, bv), d) in c.iter_mut().zip(panel.raw()).zip(elems) {
-            if *bv == 0.0 {
-                continue; // zero bypass (§III-C) — never touches the array
+        let row = self.mult.lut_row(&prep);
+        let groups = c.len() / LANES;
+        let (head, tail) = c.split_at_mut(groups * LANES);
+        for (g, cch) in head.chunks_exact_mut(LANES).enumerate() {
+            let base = g * LANES;
+            if exotic[g] {
+                // Inf/NaN or flushed-nonzero in the group: exact side
+                // logic, per element.
+                self.mul_prepared_scalar_chunk(&xs, &prep, &panel.raw()[base..base + LANES], cch);
+                continue;
             }
-            *cv += if d.class == FpClass::Normal {
-                let raw = self.mult.multiply_prepared_trusted(&prep, d.man);
-                self.fuse_combine(xsign ^ d.sign, xexp + d.exp, raw)
+            // Fixed-width array views: index-free lanes the compiler
+            // can keep in vector registers.
+            let cch: &mut [f32; LANES] = cch.try_into().expect("lane group");
+            let mch: &[u32; LANES] = mans[base..base + LANES].try_into().expect("lane group");
+            // Gather the lane read-outs: one table-row read per lane
+            // for memoized widths, the prepared-pattern OR otherwise.
+            let mut raws = [0u64; LANES];
+            if let Some(row) = row {
+                let mask = row.len() - 1;
+                for (r, &mv) in raws.iter_mut().zip(mch) {
+                    *r = row[mv as usize & mask] as u64;
+                }
             } else {
-                self.mul_scalars(&xs, &FpScalar::from_f32(*bv, self.format)).to_f32()
-            };
+                for (r, &mv) in raws.iter_mut().zip(mch) {
+                    *r = self.mult.multiply_prepared_trusted(&prep, mv as u64);
+                }
+            }
+            let ech: &[i32; LANES] = exps[base..base + LANES].try_into().expect("lane group");
+            let sch: &[u32; LANES] = signs[base..base + LANES].try_into().expect("lane group");
+            let zch: &[u32; LANES] = sel[base..base + LANES].try_into().expect("lane group");
+            self.combine_lanes(&raws, ech, sch, zch, &xs, cch);
         }
+        self.mul_prepared_scalar_chunk(&xs, &prep, &panel.raw()[groups * LANES..], tail);
     }
 }
 
@@ -804,7 +956,11 @@ mod tests {
     /// `prepare_panel` + `mul_prepared` must be element-wise bit-identical
     /// to `mul_rows` on the same panel — the contract the prepared-panel
     /// GEMM engine is built on. Exercised over the full edge-value grid
-    /// (zeros, subnormals, infinities, NaN) and a dense magnitude sweep.
+    /// (zeros, subnormals, infinities, NaN), a dense magnitude sweep,
+    /// and **both** `+0.0`- and `-0.0`-initialised accumulators — a
+    /// negative-zero accumulator is flipped to `+0.0` by the signed-zero
+    /// product of a *flushed* (nonzero-f32, format-zero) element, which
+    /// the lane path must reproduce, not skip.
     fn assert_prepared_matches_mul_rows(m: &dyn ScalarMul, bs: &[f32], as_: &[f32]) {
         let panel = m.prepare_panel(bs);
         assert_eq!(panel.len(), bs.len());
@@ -813,17 +969,19 @@ mod tests {
             assert_eq!(p.to_bits(), b.to_bits(), "{}: raw values must round-trip", m.name());
         }
         for &a in as_ {
-            let mut plain = vec![0.0f32; bs.len()];
-            let mut prepared = vec![0.0f32; bs.len()];
-            m.mul_rows(a, bs, &mut plain);
-            m.mul_prepared(a, &panel, &mut prepared);
-            for (j, (p, q)) in plain.iter().zip(&prepared).enumerate() {
-                assert!(
-                    p.to_bits() == q.to_bits() || (p.is_nan() && q.is_nan()),
-                    "{}: a={a}, b={}: mul_rows {p} vs mul_prepared {q}",
-                    m.name(),
-                    bs[j]
-                );
+            for init in [0.0f32, -0.0] {
+                let mut plain = vec![init; bs.len()];
+                let mut prepared = vec![init; bs.len()];
+                m.mul_rows(a, bs, &mut plain);
+                m.mul_prepared(a, &panel, &mut prepared);
+                for (j, (p, q)) in plain.iter().zip(&prepared).enumerate() {
+                    assert!(
+                        p.to_bits() == q.to_bits() || (p.is_nan() && q.is_nan()),
+                        "{}: a={a}, b={}, c0={init}: mul_rows {p} vs mul_prepared {q}",
+                        m.name(),
+                        bs[j]
+                    );
+                }
             }
         }
     }

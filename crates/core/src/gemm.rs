@@ -49,6 +49,7 @@
 use crate::config::{MultiplierConfig, OperandMode};
 use crate::fp::PreparedPanel;
 use crate::mantissa::MantissaMultiplier;
+use crate::microkernel;
 use crate::ScalarMul;
 use daism_num::BlockFp;
 use rayon::prelude::*;
@@ -66,6 +67,14 @@ const NC: usize = 1024;
 /// old per-call-spawn polyfill allowed — small conv layers and error
 /// sweeps parallelise too.
 const PAR_MIN_MACS: usize = 1 << 14;
+/// Minimum MAC count before the packed `f32` microkernel beats the
+/// fused row loop (packing a tiny problem costs more than it saves) —
+/// measured, not guessed: below this the fused loop *is* the naive
+/// reference, so no shape can regress against it.
+const MICRO_MIN_MACS: usize = 1 << 12;
+/// Minimum C rows for the microkernel: fewer than one register tile of
+/// rows leaves only the fringe kernel, which matches the fused loop.
+const MICRO_MIN_M: usize = 4;
 
 fn check_shapes(a: &[f32], b: &[f32], c: &[f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "A has wrong length");
@@ -151,11 +160,31 @@ pub fn gemm(
     }
     let macs = m.saturating_mul(k).saturating_mul(n);
     let threads = rayon::current_num_threads();
+    if mul.is_native_f32() {
+        // Native f32: the packed register-tile microkernel wins once
+        // there is enough work to amortise packing; tiny or row-vector
+        // problems keep the fused loop (which is then exactly the
+        // reference loop, so neither regime regresses below naive).
+        if m >= MICRO_MIN_M && macs >= MICRO_MIN_MACS {
+            if threads > 1 && macs >= PAR_MIN_MACS {
+                let chunk_rows = MC.min(m.div_ceil(threads)).max(1);
+                microkernel::gemm_f32_microkernel_parallel(a, b, c, k, n, chunk_rows);
+            } else {
+                crate::gemm_f32_microkernel(a, b, c, m, k, n);
+            }
+        } else if m > 1 && threads > 1 && macs >= PAR_MIN_MACS {
+            let chunk_rows = MC.min(m.div_ceil(threads)).max(1);
+            fused_parallel(mul, a, b, c, k, n, chunk_rows);
+        } else {
+            fused_kernel(mul, a, b, c, m, k, n);
+        }
+        return;
+    }
     // Panel pre-decode pays off through cross-row reuse of a cached
     // decoded representation: a single C row consumes each decoded
     // element exactly once, and a backend without a panel cache (raw
     // fallback) gains nothing from the panel allocation + B copy — both
-    // take the fused path instead (as do native-f32 backends, always).
+    // take the fused path instead.
     let use_prepared = m > 1 && mul.supports_prepared_panels();
     if m > 1 && threads > 1 && macs >= PAR_MIN_MACS {
         // Split C into row chunks sized so every worker gets a share,
@@ -167,6 +196,39 @@ pub fn gemm(
             fused_parallel(mul, a, b, c, k, n, chunk_rows);
         }
     } else if use_prepared {
+        prepared_kernel(mul, a, b, c, k, n);
+    } else {
+        fused_kernel(mul, a, b, c, m, k, n);
+    }
+}
+
+/// The serial lane-packed engine, regardless of problem size or thread
+/// gate: native-`f32` backends run the packed register-tile microkernel
+/// ([`gemm_f32_microkernel`](crate::gemm_f32_microkernel)), panel-caching
+/// backends the lane-packed prepared-panel kernel, and everything else
+/// the fused tiled kernel. Bit-identical to [`gemm_reference`]; exposed
+/// so the benches can time the serial microkernel layer in isolation —
+/// prefer [`gemm`] everywhere else.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape.
+pub fn gemm_microkernel_serial(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    check_shapes(a, b, c, m, k, n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if mul.is_native_f32() {
+        crate::gemm_f32_microkernel(a, b, c, m, k, n);
+    } else if mul.supports_prepared_panels() && m > 1 {
         prepared_kernel(mul, a, b, c, k, n);
     } else {
         fused_kernel(mul, a, b, c, m, k, n);
@@ -371,6 +433,51 @@ fn prepared_parallel(
 // Block-floating-point GEMM engine
 // -------------------------------------------------------------------
 
+/// Integer lanes per [`MantissaMultiplier::mul_lanes`] group in the
+/// BlockFp MAC kernel.
+const I_LANES: usize = 8;
+
+/// The lane-packed integer MAC row: folds one prepared A mantissa
+/// against a row of B tile mantissas into the exact `i64` accumulators.
+///
+/// Rides [`MantissaMultiplier::mul_lanes`] in groups of [`I_LANES`] —
+/// the product-table row gather plus a **branchless** per-lane
+/// sign/shift fold (`sx ^ sy` select via XOR/subtract), so the loop
+/// carries no data-dependent branches at all. Zero B mantissas need no
+/// bypass test: their wired-OR read-out is 0 and adding ±0 to an
+/// integer accumulator is exact, so the result is bit-identical to the
+/// branch-guarded scalar reference.
+fn lane_mac(
+    mult: &MantissaMultiplier,
+    prep: &crate::PreparedMultiplicand,
+    ys: &[i32],
+    sx: i64,
+    shift: u32,
+    accs: &mut [i64],
+) {
+    debug_assert_eq!(ys.len(), accs.len());
+    let mut ychunks = ys.chunks_exact(I_LANES);
+    let mut achunks = accs.chunks_exact_mut(I_LANES);
+    for (yc, ac) in (&mut ychunks).zip(&mut achunks) {
+        let mut lanes = [0u64; I_LANES];
+        for (lane, &y) in lanes.iter_mut().zip(yc) {
+            *lane = y.unsigned_abs() as u64;
+        }
+        let raws = mult.mul_lanes_trusted(prep, &lanes);
+        for ((acc, &raw), &y) in ac.iter_mut().zip(&raws).zip(yc) {
+            let s = sx ^ ((y >> 31) as i64);
+            let mag = (raw << shift) as i64;
+            *acc += (mag ^ s) - s; // s == -1 negates, s == 0 passes through
+        }
+    }
+    for (acc, &y) in achunks.into_remainder().iter_mut().zip(ychunks.remainder()) {
+        let raw = mult.multiply_prepared(prep, y.unsigned_abs() as u64);
+        let s = sx ^ ((y >> 31) as i64);
+        let mag = (raw << shift) as i64;
+        *acc += (mag ^ s) - s;
+    }
+}
+
 /// The tiled block-floating-point GEMM engine: the accelerator's *actual*
 /// execution mode (paper §IV-B), at per-tile exponent granularity.
 ///
@@ -569,15 +676,9 @@ impl BlockFpGemm {
                 if x == 0 {
                     continue; // zero bypass, as the hardware does
                 }
-                let sign_x = x < 0;
+                let sx = (x >> 31) as i64; // 0 or -1: branchless sign
                 let prep = self.mult.prepare(x.unsigned_abs() as u64);
-                for (acc, &y) in accs.iter_mut().zip(&mb[dl * tw..(dl + 1) * tw]) {
-                    if y == 0 {
-                        continue; // zero bypass
-                    }
-                    let mag = self.mult.multiply_prepared(&prep, y.unsigned_abs() as u64) << shift;
-                    *acc += if sign_x ^ (y < 0) { -(mag as i64) } else { mag as i64 };
-                }
+                lane_mac(&self.mult, &prep, &mb[dl * tw..(dl + 1) * tw], sx, shift, accs);
             }
             let scale = self.tile_scale(ablock.shared_exp(), exp_b);
             let crow = &mut c[r * n + tile.j0..r * n + tile.j1];
@@ -779,15 +880,9 @@ impl BlockFpGemm {
                 if x == 0 {
                     continue; // zero bypass
                 }
-                let sign_x = x < 0;
+                let sx = (x >> 31) as i64;
                 let prep = self.mult.prepare(x.unsigned_abs() as u64);
-                for (acc, &y) in accs.iter_mut().zip(&mb[l * n..(l + 1) * n]) {
-                    if y == 0 {
-                        continue; // zero bypass
-                    }
-                    let mag = self.mult.multiply_prepared(&prep, y.unsigned_abs() as u64) << shift;
-                    *acc += if sign_x ^ (y < 0) { -(mag as i64) } else { mag as i64 };
-                }
+                lane_mac(&self.mult, &prep, &mb[l * n..(l + 1) * n], sx, shift, &mut accs);
             }
             for (cv, &acc) in c[i * n..(i + 1) * n].iter_mut().zip(accs.iter()) {
                 if acc != 0 {

@@ -62,7 +62,11 @@
 //! assert!((exact - approx) / exact < 0.05);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide with exactly one exception: the
+// runtime-gated `core::arch` AVX2 register kernel in `microkernel`
+// (compiled only with the default `simd` feature on x86-64). Everything
+// else — including the portable lane kernels — is checked Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
@@ -72,12 +76,17 @@ mod fp;
 mod gemm;
 mod lines;
 mod mantissa;
+mod microkernel;
 mod sram_backed;
 
 pub use config::{MultiplierConfig, MultiplierKind, OperandMode};
 pub use error::CoreError;
 pub use fp::{ApproxFpMul, ExactMul, PreparedPanel, QuantizedExactMul, ScalarMul};
-pub use gemm::{gemm, gemm_prepared_serial, gemm_reference, gemm_tiled_serial, BlockFpGemm};
+pub use gemm::{
+    gemm, gemm_microkernel_serial, gemm_prepared_serial, gemm_reference, gemm_tiled_serial,
+    BlockFpGemm,
+};
 pub use lines::{LineLayout, LineSpec};
 pub use mantissa::{exact_mul, MantissaMultiplier, PreparedMultiplicand};
+pub use microkernel::{gemm_f32_microkernel, gemm_f32_microkernel_portable};
 pub use sram_backed::SramMultiplier;

@@ -253,6 +253,84 @@ impl MantissaMultiplier {
         self.or_prepared(prep, b)
     }
 
+    /// Lane-batched [`multiply_prepared`](Self::multiply_prepared): one
+    /// call multiplies the prepared multiplicand against `L` multiplier
+    /// lanes at once, returning the per-lane wired-OR read-outs.
+    ///
+    /// This is the integer heart of the lane-packed GEMM microkernels:
+    /// for narrow mantissas the memoized product table row bound to
+    /// `prep` is gathered per lane (a 2ⁿ-entry, cache-resident slice),
+    /// and operand validation is amortised over the whole lane group
+    /// instead of paid per scalar. Wider mantissas fall back to the
+    /// per-lane prepared-pattern OR — same results, no table.
+    ///
+    /// Bit-identical to `L` scalar [`multiply`](Self::multiply) calls for
+    /// every configuration, mode and width (enforced by the lane
+    /// differential suite in `tests/gemm_differential.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane exceeds `n` bits or (fp mode) a non-zero lane
+    /// lacks its leading one.
+    #[inline]
+    pub fn mul_lanes<const L: usize>(&self, prep: &PreparedMultiplicand, b: &[u64; L]) -> [u64; L] {
+        let n = self.layout.mantissa_width();
+        // Amortised validation: OR-fold the lanes so the width check is
+        // one compare per group, and fp-mode leading ones are checked
+        // with one boolean fold.
+        let folded = b.iter().fold(0u64, |acc, &v| acc | v);
+        assert!(bits::width_of(folded) <= n, "a multiplier lane is wider than {n} bits");
+        if self.layout.mode() == OperandMode::Fp {
+            assert!(
+                b.iter().all(|&v| v == 0 || bits::bit(v, n - 1)),
+                "an fp-mode multiplier lane lacks its leading one"
+            );
+        }
+        self.mul_lanes_trusted(prep, b)
+    }
+
+    /// [`mul_lanes`](Self::mul_lanes) without per-group operand
+    /// re-validation, for crate-internal hot loops whose lanes come from
+    /// already-validated decodes (quantized BlockFp mantissas, decoded
+    /// `Normal` scalars) — the lane counterpart of
+    /// [`multiply_prepared_trusted`](Self::multiply_prepared_trusted).
+    #[inline]
+    pub(crate) fn mul_lanes_trusted<const L: usize>(
+        &self,
+        prep: &PreparedMultiplicand,
+        b: &[u64; L],
+    ) -> [u64; L] {
+        debug_assert!(b.iter().all(|&v| bits::width_of(v) <= self.layout.mantissa_width()));
+        let mut out = [0u64; L];
+        if let Some(row) = self.lut_row(prep) {
+            // `row` is exactly 2^n entries, so masking the index both
+            // elides the bounds check and cannot alias distinct operands
+            // (every lane is already proven < 2^n above).
+            let mask = row.len() - 1;
+            for (o, &v) in out.iter_mut().zip(b) {
+                *o = row[v as usize & mask] as u64;
+            }
+        } else {
+            for (o, &v) in out.iter_mut().zip(b) {
+                *o = self.or_prepared(prep, v);
+            }
+        }
+        out
+    }
+
+    /// The memoized product-table row bound to `prep` (all 2ⁿ products
+    /// of the prepared multiplicand), or `None` for widths served by the
+    /// prepared-pattern OR path. Crate-internal seam for lane kernels
+    /// that gather the row directly.
+    #[inline]
+    pub(crate) fn lut_row(&self, prep: &PreparedMultiplicand) -> Option<&[u16]> {
+        self.lut.as_ref().map(|lut| {
+            let n = self.layout.mantissa_width();
+            let base = (prep.a << n) as usize;
+            &lut[base..base + (1usize << n)]
+        })
+    }
+
     #[inline]
     fn or_prepared(&self, prep: &PreparedMultiplicand, b: u64) -> u64 {
         let mask = self.layout.decode(b);

@@ -9,8 +9,9 @@
 //! comparison.
 
 use daism_core::{
-    gemm, gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, ExactMul,
-    MultiplierConfig, QuantizedExactMul, ScalarMul,
+    gemm, gemm_f32_microkernel, gemm_f32_microkernel_portable, gemm_microkernel_serial,
+    gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, ExactMul,
+    MantissaMultiplier, MultiplierConfig, OperandMode, QuantizedExactMul, ScalarMul,
 };
 use daism_num::FpFormat;
 use proptest::prelude::*;
@@ -85,6 +86,22 @@ fn assert_all_backends_bit_identical(
                 r.to_bits(),
                 s.to_bits(),
                 "{} {}x{}x{} element {}: reference {} vs prepared-panel {}",
+                mul.name(),
+                m,
+                k,
+                n,
+                i,
+                r,
+                s
+            );
+        }
+        let mut micro = vec![0.0f32; m * n];
+        gemm_microkernel_serial(mul.as_ref(), a, b, &mut micro, m, k, n);
+        for (i, (r, s)) in reference.iter().zip(&micro).enumerate() {
+            prop_assert_eq!(
+                r.to_bits(),
+                s.to_bits(),
+                "{} {}x{}x{} element {}: reference {} vs microkernel {}",
                 mul.name(),
                 m,
                 k,
@@ -174,6 +191,111 @@ proptest! {
             for (r, t) in reference.iter().zip(&tiled) {
                 prop_assert_eq!(r.to_bits(), t.to_bits(), "{}", mul.name());
             }
+        }
+    }
+}
+
+/// Applies `f` to `ys` through `mul_lanes` groups of `L`, scalar
+/// `multiply` on the remainder, asserting lane == scalar per element.
+fn assert_lanes_match_scalar<const L: usize>(
+    m: &MantissaMultiplier,
+    a: u64,
+    ys: &[u64],
+) -> Result<(), TestCaseError> {
+    let prep = m.prepare(a);
+    let mut it = ys.chunks_exact(L);
+    for chunk in &mut it {
+        let lanes: [u64; L] = chunk.try_into().expect("chunk length");
+        let raws = m.mul_lanes(&prep, &lanes);
+        for (j, &b) in chunk.iter().enumerate() {
+            prop_assert_eq!(
+                raws[j],
+                m.multiply(a, b),
+                "{} n={} L={}: a={:#x} b={:#x}",
+                m.config(),
+                m.mantissa_width(),
+                L,
+                a,
+                b
+            );
+        }
+    }
+    for &b in it.remainder() {
+        prop_assert_eq!(m.multiply_prepared(&prep, b), m.multiply(a, b));
+    }
+    Ok(())
+}
+
+proptest! {
+    /// `mul_lanes` == N× scalar `multiply` across all five multiplier
+    /// configurations, every BlockFp-reachable multiplier width
+    /// (`man_width 5..=25` ⇒ `n = 4..=24`, spanning LUT and
+    /// prepared-pattern-OR service), both operand modes, and several
+    /// lane counts — the contract the lane-packed GEMM kernels ride.
+    #[test]
+    fn mul_lanes_matches_scalar_multiply(
+        config_idx in 0usize..5,
+        man_width in 5u32..=25,
+        seed in 0u64..10_000,
+    ) {
+        let config = MultiplierConfig::ALL[config_idx];
+        let n = man_width - 1;
+        let top = 1u64 << (n - 1);
+        let hash = |i: u64| -> u64 {
+            (i.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed) >> 17) & ((1 << n) - 1)
+        };
+        for mode in [OperandMode::Int, OperandMode::Fp] {
+            let m = MantissaMultiplier::new(config, mode, n);
+            let ys: Vec<u64> = (0..19u64)
+                .map(|i| {
+                    let v = hash(i);
+                    match mode {
+                        // fp-mode multipliers carry their leading one
+                        // (or are zero — the bypass lane).
+                        OperandMode::Fp => if i % 7 == 0 { 0 } else { v | top },
+                        OperandMode::Int => if i % 7 == 0 { 0 } else { v },
+                    }
+                })
+                .collect();
+            for a in [top, top | 1, hash(97) | top, (1 << n) - 1, 0] {
+                assert_lanes_match_scalar::<1>(&m, a, &ys)?;
+                assert_lanes_match_scalar::<3>(&m, a, &ys)?;
+                assert_lanes_match_scalar::<8>(&m, a, &ys)?;
+                assert_lanes_match_scalar::<16>(&m, a, &ys)?;
+            }
+        }
+    }
+
+    /// The runtime-detected f32 microkernel path and the forced-portable
+    /// fallback must be **byte-identical** to each other and to the
+    /// scalar reference, across register-tile remainders (m, n, k not
+    /// multiples of MR/NR/KC), m == 1 and arbitrary fills — on a host
+    /// without AVX2 (or a no-`simd` build) the two entry points are the
+    /// same code and the property still pins kernel-vs-reference.
+    #[test]
+    fn microkernel_detected_equals_portable_equals_reference(
+        case in (1usize..19, 1usize..40, 1usize..37).prop_flat_map(|(m, k, n)| {
+            (
+                Just((m, k, n)),
+                prop::collection::vec(-8.0f32..8.0, m * k),
+                prop::collection::vec(-8.0f32..8.0, k * n),
+                prop::collection::vec(-4.0f32..4.0, m * n),
+            )
+        }),
+    ) {
+        let ((m, k, n), a, b, c0) = case;
+        let (a, b) = (sparsify(a), sparsify(b));
+        let mut reference = c0.clone();
+        let mut detected = c0.clone();
+        let mut portable = c0;
+        gemm_reference(&ExactMul, &a, &b, &mut reference, m, k, n);
+        gemm_f32_microkernel(&a, &b, &mut detected, m, k, n);
+        gemm_f32_microkernel_portable(&a, &b, &mut portable, m, k, n);
+        for (i, r) in reference.iter().enumerate() {
+            prop_assert_eq!(r.to_bits(), detected[i].to_bits(),
+                "detected diverged at {}x{}x{} elem {}", m, k, n, i);
+            prop_assert_eq!(r.to_bits(), portable[i].to_bits(),
+                "portable diverged at {}x{}x{} elem {}", m, k, n, i);
         }
     }
 }

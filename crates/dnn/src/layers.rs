@@ -268,10 +268,27 @@ impl Conv2d {
         )
     }
 
+    /// Batched im2col into **both** GEMM layouts in one walk: `cols` as
+    /// `[in_ch·k·k, batch·oh·ow]` (the forward/grad-input operand) and
+    /// `colst` as its transpose `[batch·oh·ow, in_ch·k·k]` (the
+    /// `grad_w` operand) — so a training step's backward never re-walks
+    /// or transposes the lowering. Padding positions stay zero in both.
+    fn im2col_batch_dual(&self, x: &Tensor, cols: &mut Vec<f32>, colst: &mut Vec<f32>) {
+        self.lower_batch(x, cols, Some(colst));
+    }
+
     /// Batched im2col: lowers the **whole batch** into `cols` as one
     /// `[in_ch·k·k, batch·oh·ow]` matrix (sample-major columns), reusing
     /// the buffer's existing allocation. Padding positions stay zero.
     fn im2col_batch(&self, x: &Tensor, cols: &mut Vec<f32>) {
+        self.lower_batch(x, cols, None);
+    }
+
+    /// The single lowering walk behind both im2col entry points, so the
+    /// bounds/padding/stride math exists exactly once: always fills
+    /// `cols`, and mirrors every element into the transposed `colst`
+    /// when given one.
+    fn lower_batch(&self, x: &Tensor, cols: &mut Vec<f32>, colst: Option<&mut Vec<f32>>) {
         let (batch, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.out_hw(h, w);
         let p = oh * ow;
@@ -280,6 +297,11 @@ impl Conv2d {
         let rows = self.in_ch * kk * kk;
         cols.clear();
         cols.resize(rows * bp, 0.0);
+        let mut colst = colst.map(|t| {
+            t.clear();
+            t.resize(bp * rows, 0.0);
+            t.as_mut_slice()
+        });
         for n in 0..batch {
             for c in 0..self.in_ch {
                 for ki in 0..kk {
@@ -296,8 +318,12 @@ impl Conv2d {
                                 if src_j < 0 || src_j >= w as isize {
                                     continue;
                                 }
-                                cols[row * bp + n * p + oi * ow + oj] =
-                                    x.data()[x.offset4(n, c, src_i as usize, src_j as usize)];
+                                let q = n * p + oi * ow + oj;
+                                let v = x.data()[x.offset4(n, c, src_i as usize, src_j as usize)];
+                                cols[row * bp + q] = v;
+                                if let Some(t) = colst.as_mut() {
+                                    t[q * rows + row] = v;
+                                }
                             }
                         }
                     }
@@ -372,8 +398,17 @@ impl Layer for Conv2d {
         let bp = batch * p;
 
         // One GEMM for the whole batch: W[out_ch × kdim] · cols[kdim × bp].
+        // A training forward lowers into both layouts in one walk, so
+        // backward's grad_w GEMM consumes the transpose directly instead
+        // of re-walking the lowering.
         let mut cols = std::mem::take(&mut self.scratch_cols);
-        self.im2col_batch(x, &mut cols);
+        if training {
+            let mut colst = std::mem::take(&mut self.scratch_t);
+            self.im2col_batch_dual(x, &mut cols, &mut colst);
+            self.scratch_t = colst;
+        } else {
+            self.im2col_batch(x, &mut cols);
+        }
         let mut staged = std::mem::take(&mut self.scratch_rows);
         staged.clear();
         staged.resize(self.out_ch * bp, 0.0);
@@ -429,11 +464,15 @@ impl Layer for Conv2d {
         let bp = batch * p;
 
         let mut cols = std::mem::take(&mut self.scratch_cols);
+        let mut t = std::mem::take(&mut self.scratch_t);
         if !self.cols_valid {
-            self.im2col_batch(&x, &mut cols);
+            // An interleaved inference call replaced the training
+            // lowering: rebuild both layouts from the cached input.
+            self.im2col_batch_dual(&x, &mut cols, &mut t);
         }
-        // Either way the buffer stops holding the lowering below, where
-        // it is recycled as the grad_cols destination.
+        // Either way the buffers stop holding the lowering below: `cols`
+        // is recycled as the grad_cols destination and `t` as the Wᵀ
+        // staging.
         self.cols_valid = false;
 
         // Gather the upstream gradient [batch, out_ch, p] into
@@ -448,17 +487,12 @@ impl Layer for Conv2d {
             }
         }
 
-        // grad_w += g · colsᵀ — one GEMM over the whole batch. The k
-        // dimension runs over (sample, position) in ascending order,
-        // exactly the order the per-sample loop accumulated in.
-        let mut t = std::mem::take(&mut self.scratch_t);
-        t.clear();
-        t.resize(bp * kdim, 0.0);
-        for r in 0..kdim {
-            for q in 0..bp {
-                t[q * kdim + r] = cols[r * bp + q];
-            }
-        }
+        // grad_w += g · colsᵀ — one GEMM over the whole batch, with the
+        // transposed lowering already staged by the training forward
+        // (transpose-free backward). The k dimension runs over (sample,
+        // position) in ascending order, exactly the order the
+        // per-sample loop accumulated in.
+        debug_assert_eq!(t.len(), bp * kdim, "colsᵀ staging out of step with the lowering");
         gemm(mul, &g, &t, self.w.grad.data_mut(), self.out_ch, bp, kdim);
 
         // grad_b += row sums of g, sample by sample (same partial-sum
