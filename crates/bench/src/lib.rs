@@ -35,6 +35,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod format_sweep;
 pub mod par;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table3;

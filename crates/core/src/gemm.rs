@@ -82,6 +82,23 @@ fn check_shapes(a: &[f32], b: &[f32], c: &[f32], m: usize, k: usize, n: usize) {
     assert_eq!(c.len(), m * n, "C has wrong length");
 }
 
+/// The one parallel gate every engine entry point shares — [`gemm`],
+/// [`gemm_with_prepared_b`] and the BlockFp engine must dispatch
+/// identically or their bit-identity contracts stop being testable one
+/// path at a time. `Some(chunk_rows)` when the problem clears the
+/// MAC/thread/row gates (C row chunks sized so every worker gets a
+/// share, capped at `MC` rows for cache residency); `None` for the
+/// serial path.
+fn par_chunk_rows(m: usize, k: usize, n: usize) -> Option<usize> {
+    let macs = m.saturating_mul(k).saturating_mul(n);
+    let threads = rayon::current_num_threads();
+    if m > 1 && threads > 1 && macs >= PAR_MIN_MACS {
+        Some(MC.min(m.div_ceil(threads)).max(1))
+    } else {
+        None
+    }
+}
+
 /// The scalar reference: `C += A·B` with one [`ScalarMul::mul_rows`] per
 /// (A-element, B-row) pair, rows processed in order, no tiling and no
 /// threads.
@@ -159,21 +176,21 @@ pub fn gemm(
         return; // nothing to accumulate
     }
     let macs = m.saturating_mul(k).saturating_mul(n);
-    let threads = rayon::current_num_threads();
+    let chunk = par_chunk_rows(m, k, n);
     if mul.is_native_f32() {
         // Native f32: the packed register-tile microkernel wins once
         // there is enough work to amortise packing; tiny or row-vector
         // problems keep the fused loop (which is then exactly the
         // reference loop, so neither regime regresses below naive).
+        // (`MICRO_MIN_M` ≥ 2, so the shared gate's `m > 1` condition is
+        // already implied inside the microkernel branch.)
         if m >= MICRO_MIN_M && macs >= MICRO_MIN_MACS {
-            if threads > 1 && macs >= PAR_MIN_MACS {
-                let chunk_rows = MC.min(m.div_ceil(threads)).max(1);
+            if let Some(chunk_rows) = chunk {
                 microkernel::gemm_f32_microkernel_parallel(a, b, c, k, n, chunk_rows);
             } else {
                 crate::gemm_f32_microkernel(a, b, c, m, k, n);
             }
-        } else if m > 1 && threads > 1 && macs >= PAR_MIN_MACS {
-            let chunk_rows = MC.min(m.div_ceil(threads)).max(1);
+        } else if let Some(chunk_rows) = chunk {
             fused_parallel(mul, a, b, c, k, n, chunk_rows);
         } else {
             fused_kernel(mul, a, b, c, m, k, n);
@@ -186,10 +203,7 @@ pub fn gemm(
     // fallback) gains nothing from the panel allocation + B copy — both
     // take the fused path instead.
     let use_prepared = m > 1 && mul.supports_prepared_panels();
-    if m > 1 && threads > 1 && macs >= PAR_MIN_MACS {
-        // Split C into row chunks sized so every worker gets a share,
-        // capped at MC rows for cache residency.
-        let chunk_rows = MC.min(m.div_ceil(threads)).max(1);
+    if let Some(chunk_rows) = chunk {
         if use_prepared {
             prepared_parallel(mul, a, b, c, k, n, chunk_rows);
         } else {
@@ -319,7 +333,7 @@ fn fused_kernel(
 
 /// One `KC × NC` block of the B matrix: depth rows `[l0, l1)` crossed
 /// with columns `[j0, j1)`.
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 struct Tile {
     l0: usize,
     l1: usize,
@@ -426,6 +440,249 @@ fn prepared_parallel(
                 block_rows(mul, &a[i0 * k..(i0 + rows) * k], &panels, cpanel, k, n, tile);
             });
         }
+    }
+}
+
+// -------------------------------------------------------------------
+// Persistent prepared B — compiled inference sessions
+// -------------------------------------------------------------------
+
+/// A `KC × NC` tile of B with its row panels already decoded.
+#[derive(Debug, Clone)]
+struct PreparedTileB {
+    tile: Tile,
+    panels: Vec<PreparedPanel>,
+}
+
+#[derive(Debug, Clone)]
+enum PreparedBVariant {
+    /// No cacheable representation for this backend: the raw values,
+    /// consumed by the fused kernels exactly as [`gemm`] would.
+    Fused { raw: Vec<f32> },
+    /// Panel-caching backends: decoded panels per `KC × NC` tile, in
+    /// the engine's walk order (`j0` outer, `l0` inner).
+    Panels { tiles: Vec<PreparedTileB> },
+    /// Native-`f32` backends: `NR`-major packed panels for the
+    /// register-tile microkernel.
+    Packed { blocks: Vec<microkernel::PackedBBlock> },
+}
+
+/// The per-tile prepared state of one B matrix for one backend — the
+/// operand-conversion work [`gemm`] redoes on **every** call, hoisted
+/// out so a weight-stationary caller (a compiled inference session
+/// serving many requests against fixed weights) pays it once per
+/// weight matrix instead of once per request.
+///
+/// What is cached depends on the backend that prepares it:
+///
+/// * native-`f32` backends — `NR`-major packed panels for the
+///   register-tile microkernel (B is packed zero times per GEMM);
+/// * panel-caching backends ([`ApproxFpMul`] on the fast formats,
+///   [`QuantizedExactMul`]) — the decoded [`PreparedPanel`]s of every
+///   `KC × NC` tile;
+/// * everything else — the raw values (the fused kernels re-derive
+///   operands per call, exactly as [`gemm`] does for those backends).
+///
+/// [`gemm_with_prepared_b`] consumes it with **bit-identical** results
+/// to [`gemm`] on the same operands — *including* `m == 1`, which
+/// `gemm` itself keeps on the fused path (per-call pre-decode has no
+/// cross-row reuse to amortise there) but which a persistent panel
+/// serves from the cache: single-sample inference requests are exactly
+/// where the per-request B re-decode hurts most.
+///
+/// # Examples
+///
+/// ```
+/// use daism_core::{gemm, gemm_with_prepared_b, ApproxFpMul, MultiplierConfig, PreparedGemmB};
+/// use daism_num::FpFormat;
+///
+/// let mul = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+/// let b = [0.5f32, 1.5, -2.0, 0.75]; // 2x2 weights, prepared once…
+/// let prepared = PreparedGemmB::new(&mul, &b, 2, 2);
+/// let a = [1.0f32, -0.5]; // …served against many requests
+/// let mut fast = [0.0f32; 2];
+/// gemm_with_prepared_b(&mul, &a, &prepared, &mut fast, 1);
+/// let mut eager = [0.0f32; 2];
+/// gemm(&mul, &a, &b, &mut eager, 1, 2, 2);
+/// assert_eq!(fast, eager); // bit-identical
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedGemmB {
+    k: usize,
+    n: usize,
+    variant: PreparedBVariant,
+}
+
+impl PreparedGemmB {
+    /// Prepares the `k × n` row-major matrix `b` for repeated
+    /// [`gemm_with_prepared_b`] calls through `mul`. Feeding the result
+    /// to a *different* backend stays correct (panel tiles fall back to
+    /// their raw values) — except that panels packed for a native-`f32`
+    /// backend are only accepted by native-`f32` backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    pub fn new(mul: &dyn ScalarMul, b: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "B has wrong length");
+        let variant = if mul.is_native_f32() {
+            PreparedBVariant::Packed { blocks: microkernel::pack_b_blocks(b, k, n) }
+        } else if mul.supports_prepared_panels() {
+            let mut tiles = Vec::new();
+            for j0 in (0..n).step_by(NC) {
+                let j1 = (j0 + NC).min(n);
+                for l0 in (0..k).step_by(KC) {
+                    let tile = Tile { l0, l1: (l0 + KC).min(k), j0, j1 };
+                    tiles.push(PreparedTileB { tile, panels: prepare_block(mul, b, n, tile) });
+                }
+            }
+            PreparedBVariant::Panels { tiles }
+        } else {
+            PreparedBVariant::Fused { raw: b.to_vec() }
+        };
+        PreparedGemmB { k, n, variant }
+    }
+
+    /// Depth (rows of B / columns of A).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Width (columns of B and C).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// Serial prepared-tile kernel: [`block_rows`] over already-decoded
+/// tiles — [`prepared_kernel`] with the per-call decode deleted.
+fn prepared_tiles_kernel(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    tiles: &[PreparedTileB],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    for t in tiles {
+        block_rows(mul, a, &t.panels, c, k, n, t.tile);
+    }
+}
+
+/// Parallel prepared-tile path: [`prepared_parallel`] with the decode
+/// step deleted — the persistent panels are shared read-only across the
+/// C row chunks.
+fn prepared_tiles_parallel(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    tiles: &[PreparedTileB],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    chunk_rows: usize,
+) {
+    for t in tiles {
+        c.par_chunks_mut(chunk_rows * n).enumerate().for_each(|(panel_idx, cpanel)| {
+            let i0 = panel_idx * chunk_rows;
+            let rows = cpanel.len() / n;
+            block_rows(mul, &a[i0 * k..(i0 + rows) * k], &t.panels, cpanel, k, n, t.tile);
+        });
+    }
+}
+
+/// `C[m×n] += A[m×k] · B[k×n]` against a [`PreparedGemmB`] — the
+/// serving-path twin of [`gemm`]: same dispatch (thread gate, row
+/// chunking), same kernels, **bit-identical** results for every backend
+/// and shape including `m == 1`, but with every per-call B conversion
+/// (panel decode, microkernel packing, quantization) already paid at
+/// [`PreparedGemmB::new`] time.
+///
+/// `k` and `n` come from the prepared matrix.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the shape, or if a panel packed
+/// for a native-`f32` backend is served through a non-native backend
+/// (the packed form drops the raw values, so there is no correct
+/// fallback).
+pub fn gemm_with_prepared_b(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &PreparedGemmB,
+    c: &mut [f32],
+    m: usize,
+) {
+    let (k, n) = (b.k, b.n);
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(c.len(), m * n, "C has wrong length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let chunk = par_chunk_rows(m, k, n);
+    match &b.variant {
+        PreparedBVariant::Packed { blocks } => {
+            assert!(
+                mul.is_native_f32(),
+                "prepared B was packed for a native-f32 backend; {} cannot consume it",
+                mul.name()
+            );
+            if let Some(chunk_rows) = chunk {
+                microkernel::gemm_packed_parallel(a, blocks, c, k, n, chunk_rows);
+            } else {
+                microkernel::gemm_packed_serial(a, blocks, c, m, k, n);
+            }
+        }
+        PreparedBVariant::Panels { tiles } => {
+            if let Some(chunk_rows) = chunk {
+                prepared_tiles_parallel(mul, a, tiles, c, k, n, chunk_rows);
+            } else {
+                prepared_tiles_kernel(mul, a, tiles, c, k, n);
+            }
+        }
+        PreparedBVariant::Fused { raw } => {
+            if let Some(chunk_rows) = chunk {
+                fused_parallel(mul, a, raw, c, k, n, chunk_rows);
+            } else {
+                fused_kernel(mul, a, raw, c, m, k, n);
+            }
+        }
+    }
+}
+
+/// [`gemm_with_prepared_b`] forced serial, regardless of problem size
+/// or thread count — the seam the serve benchmarks time so the
+/// no-re-decode win is measurable without pool noise. Prefer
+/// [`gemm_with_prepared_b`] everywhere else.
+///
+/// # Panics
+///
+/// Same contract as [`gemm_with_prepared_b`].
+pub fn gemm_with_prepared_b_serial(
+    mul: &dyn ScalarMul,
+    a: &[f32],
+    b: &PreparedGemmB,
+    c: &mut [f32],
+    m: usize,
+) {
+    let (k, n) = (b.k, b.n);
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(c.len(), m * n, "C has wrong length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    match &b.variant {
+        PreparedBVariant::Packed { blocks } => {
+            assert!(
+                mul.is_native_f32(),
+                "prepared B was packed for a native-f32 backend; {} cannot consume it",
+                mul.name()
+            );
+            microkernel::gemm_packed_serial(a, blocks, c, m, k, n);
+        }
+        PreparedBVariant::Panels { tiles } => prepared_tiles_kernel(mul, a, tiles, c, k, n),
+        PreparedBVariant::Fused { raw } => fused_kernel(mul, a, raw, c, m, k, n),
     }
 }
 
@@ -541,6 +798,72 @@ pub struct BlockFpGemm {
     man_width: u32,
     tile_k: usize,
     tile_n: usize,
+}
+
+/// Where [`BlockFpGemm::run`] gets each tile's quantized B block from:
+/// the raw matrix (quantize on the fly, buffer reused) or a prepared
+/// set in the same walk order.
+#[derive(Clone, Copy)]
+enum BTiles<'a> {
+    Raw(&'a [f32]),
+    Prepared(&'a [BlockFp]),
+}
+
+/// An A matrix quantized per `(row, k-tile)` block by
+/// [`BlockFpGemm::prepare_a`], for repeated
+/// [`BlockFpGemm::execute_with_prepared_a`] calls against changing B
+/// operands (the Conv2d serving pattern: the kernel matrix is the
+/// stationary left operand).
+#[derive(Debug, Clone)]
+pub struct BlockFpPreparedA {
+    blocks: Vec<BlockFp>,
+    m: usize,
+    k: usize,
+    man_width: u32,
+    tile_k: usize,
+}
+
+impl BlockFpPreparedA {
+    /// Rows of the prepared matrix.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Depth (columns of the prepared matrix).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// A B matrix quantized per `tile_k × tile_n` tile by
+/// [`BlockFpGemm::prepare_b`], for repeated
+/// [`BlockFpGemm::execute_with_prepared_b`] calls against changing A
+/// operands (the Dense serving pattern: `Wᵀ` is the stationary right
+/// operand).
+#[derive(Debug, Clone)]
+pub struct BlockFpPreparedB {
+    tiles: Vec<BlockFp>,
+    k: usize,
+    n: usize,
+    man_width: u32,
+    tile_k: usize,
+    tile_n: usize,
+}
+
+impl BlockFpPreparedB {
+    /// Depth (rows of the prepared matrix).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Width (columns of the prepared matrix).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
 }
 
 impl BlockFpGemm {
@@ -690,6 +1013,61 @@ impl BlockFpGemm {
         }
     }
 
+    /// The `execute` thread gate as a chunk size — the module-level
+    /// [`par_chunk_rows`] gate shared with the float engine, so every
+    /// entry point (raw, prepared-A, prepared-B, float, prepared-float)
+    /// dispatches identically.
+    fn par_chunk_rows(&self, m: usize, k: usize, n: usize) -> Option<usize> {
+        par_chunk_rows(m, k, n)
+    }
+
+    /// The one tile walk behind every entry point: `j0` outer, `l0`
+    /// inner, each tile's B block either quantized on the fly
+    /// ([`BTiles::Raw`]) or read from a prepared set
+    /// ([`BTiles::Prepared`], same walk order), MAC'd serially or over
+    /// `chunk_rows`-row C chunks. Byte-identical either way — each
+    /// element's tile contributions are exact integers folded in
+    /// ascending-`k` order.
+    #[allow(clippy::too_many_arguments)] // internal seam shared by 4 entry points
+    fn run(
+        &self,
+        a_blocks: &[BlockFp],
+        b: BTiles<'_>,
+        c: &mut [f32],
+        k: usize,
+        n: usize,
+        chunk_rows: Option<usize>,
+    ) {
+        let nkb = k.div_ceil(self.tile_k);
+        let mut buf = Vec::new();
+        let mut accs = vec![0i64; self.tile_n.min(n)];
+        let mut ti = 0usize;
+        for j0 in (0..n).step_by(self.tile_n) {
+            let j1 = (j0 + self.tile_n).min(n);
+            for l0 in (0..k).step_by(self.tile_k) {
+                let tile = Tile { l0, l1: (l0 + self.tile_k).min(k), j0, j1 };
+                let owned;
+                let b_tile = match b {
+                    BTiles::Raw(raw) => {
+                        owned = self.gather_tile(raw, n, tile, &mut buf);
+                        &owned
+                    }
+                    BTiles::Prepared(tiles) => {
+                        ti += 1;
+                        &tiles[ti - 1]
+                    }
+                };
+                match chunk_rows {
+                    None => self.mac_rows(a_blocks, nkb, 0, b_tile, c, n, tile, &mut accs),
+                    Some(cr) => c.par_chunks_mut(cr * n).enumerate().for_each(|(ci, cpanel)| {
+                        let mut accs = vec![0i64; tile.j1 - tile.j0];
+                        self.mac_rows(a_blocks, nkb, ci * cr, b_tile, cpanel, n, tile, &mut accs);
+                    }),
+                }
+            }
+        }
+    }
+
     /// `C += Â·B̂` through the tiled engine. Small problems (under ~16k
     /// MACs) or single-row problems run serially; larger ones split C
     /// row chunks across the persistent worker pool — with
@@ -704,25 +1082,8 @@ impl BlockFpGemm {
         if m == 0 || n == 0 || k == 0 {
             return;
         }
-        let macs = m.saturating_mul(k).saturating_mul(n);
-        let threads = rayon::current_num_threads();
-        if m > 1 && threads > 1 && macs >= PAR_MIN_MACS {
-            let chunk_rows = MC.min(m.div_ceil(threads)).max(1);
-            self.execute_chunked(a, b, c, m, k, n, chunk_rows);
-        } else {
-            let nkb = k.div_ceil(self.tile_k);
-            let a_blocks = BlockFp::quantize_rows(a, k, self.tile_k, self.man_width);
-            let mut buf = Vec::new();
-            let mut accs = vec![0i64; self.tile_n.min(n)];
-            for j0 in (0..n).step_by(self.tile_n) {
-                let j1 = (j0 + self.tile_n).min(n);
-                for l0 in (0..k).step_by(self.tile_k) {
-                    let tile = Tile { l0, l1: (l0 + self.tile_k).min(k), j0, j1 };
-                    let b_tile = self.gather_tile(b, n, tile, &mut buf);
-                    self.mac_rows(&a_blocks, nkb, 0, &b_tile, c, n, tile, &mut accs);
-                }
-            }
-        }
+        let a_blocks = BlockFp::quantize_rows(a, k, self.tile_k, self.man_width);
+        self.run(&a_blocks, BTiles::Raw(b), c, k, n, self.par_chunk_rows(m, k, n));
     }
 
     /// The parallel kernel with an explicit C row-chunk size, bypassing
@@ -753,29 +1114,122 @@ impl BlockFpGemm {
         if m == 0 || n == 0 || k == 0 {
             return;
         }
-        let nkb = k.div_ceil(self.tile_k);
         let a_blocks = BlockFp::quantize_rows(a, k, self.tile_k, self.man_width);
+        self.run(&a_blocks, BTiles::Raw(b), c, k, n, Some(chunk_rows));
+    }
+
+    /// Quantizes the `m × k` matrix `a` per `(row, k-tile)` block for
+    /// this engine's geometry — the A-side conversion
+    /// [`execute`](Self::execute) pays per call, made persistent for
+    /// weight-stationary callers whose *A* operand is the fixed one
+    /// (`Conv2d`'s lowered forward multiplies the kernel matrix from
+    /// the left).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != m * k`.
+    pub fn prepare_a(&self, a: &[f32], m: usize, k: usize) -> BlockFpPreparedA {
+        assert_eq!(a.len(), m * k, "A has wrong length");
+        BlockFpPreparedA {
+            blocks: BlockFp::quantize_rows(a, k, self.tile_k, self.man_width),
+            m,
+            k,
+            man_width: self.man_width,
+            tile_k: self.tile_k,
+        }
+    }
+
+    /// Quantizes the `k × n` matrix `b` per `tile_k × tile_n` tile for
+    /// this engine's geometry, in the engine's walk order — the B-side
+    /// conversion [`execute`](Self::execute) pays per call, made
+    /// persistent for weight-stationary callers (`Dense` multiplies
+    /// `Wᵀ` from the right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    pub fn prepare_b(&self, b: &[f32], k: usize, n: usize) -> BlockFpPreparedB {
+        assert_eq!(b.len(), k * n, "B has wrong length");
+        let mut tiles = Vec::new();
         let mut buf = Vec::new();
         for j0 in (0..n).step_by(self.tile_n) {
             let j1 = (j0 + self.tile_n).min(n);
             for l0 in (0..k).step_by(self.tile_k) {
                 let tile = Tile { l0, l1: (l0 + self.tile_k).min(k), j0, j1 };
-                let b_tile = self.gather_tile(b, n, tile, &mut buf);
-                c.par_chunks_mut(chunk_rows * n).enumerate().for_each(|(ci, cpanel)| {
-                    let mut accs = vec![0i64; tile.j1 - tile.j0];
-                    self.mac_rows(
-                        &a_blocks,
-                        nkb,
-                        ci * chunk_rows,
-                        &b_tile,
-                        cpanel,
-                        n,
-                        tile,
-                        &mut accs,
-                    );
-                });
+                tiles.push(self.gather_tile(b, n, tile, &mut buf));
             }
         }
+        BlockFpPreparedB {
+            tiles,
+            k,
+            n,
+            man_width: self.man_width,
+            tile_k: self.tile_k,
+            tile_n: self.tile_n,
+        }
+    }
+
+    /// [`execute`](Self::execute) with the A-side quantization already
+    /// done (`m` and `k` come from the prepared operand) —
+    /// byte-identical to `execute` on the same values, same thread
+    /// gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the shape, or if `ap` was
+    /// prepared by an engine with a different mantissa width or
+    /// exponent-sharing depth.
+    pub fn execute_with_prepared_a(
+        &self,
+        ap: &BlockFpPreparedA,
+        b: &[f32],
+        c: &mut [f32],
+        n: usize,
+    ) {
+        assert_eq!(
+            (ap.man_width, ap.tile_k),
+            (self.man_width, self.tile_k),
+            "prepared A geometry does not match this engine"
+        );
+        let (m, k) = (ap.m, ap.k);
+        assert_eq!(b.len(), k * n, "B has wrong length");
+        assert_eq!(c.len(), m * n, "C has wrong length");
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        self.run(&ap.blocks, BTiles::Raw(b), c, k, n, self.par_chunk_rows(m, k, n));
+    }
+
+    /// [`execute`](Self::execute) with the B-side quantization already
+    /// done (`k` and `n` come from the prepared operand) —
+    /// byte-identical to `execute` on the same values, same thread
+    /// gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the shape, or if `bp` was
+    /// prepared by an engine with different tile geometry or mantissa
+    /// width.
+    pub fn execute_with_prepared_b(
+        &self,
+        a: &[f32],
+        bp: &BlockFpPreparedB,
+        c: &mut [f32],
+        m: usize,
+    ) {
+        assert_eq!(
+            (bp.man_width, bp.tile_k, bp.tile_n),
+            (self.man_width, self.tile_k, self.tile_n),
+            "prepared B geometry does not match this engine"
+        );
+        let (k, n) = (bp.k, bp.n);
+        assert_eq!(a.len(), m * k, "A has wrong length");
+        assert_eq!(c.len(), m * n, "C has wrong length");
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let a_blocks = BlockFp::quantize_rows(a, k, self.tile_k, self.man_width);
+        self.run(&a_blocks, BTiles::Prepared(&bp.tiles), c, k, n, self.par_chunk_rows(m, k, n));
     }
 
     /// The scalar semantic anchor: same per-`(row, k-tile)` /
@@ -1037,6 +1491,139 @@ mod tests {
     }
 
     // ---------------------------------------------------------------
+    // PreparedGemmB / gemm_with_prepared_b
+    // ---------------------------------------------------------------
+
+    fn assert_prepared_b_matches_gemm(mul: &dyn ScalarMul, m: usize, k: usize, n: usize) {
+        let a = test_matrix(m * k, 5);
+        let b = test_matrix(k * n, 6);
+        let prepared = PreparedGemmB::new(mul, &b, k, n);
+        assert_eq!(prepared.k(), k);
+        assert_eq!(prepared.n(), n);
+        let mut eager = vec![0.0f32; m * n];
+        gemm(mul, &a, &b, &mut eager, m, k, n);
+        let mut served = vec![0.0f32; m * n];
+        gemm_with_prepared_b(mul, &a, &prepared, &mut served, m);
+        let mut serial = vec![0.0f32; m * n];
+        gemm_with_prepared_b_serial(mul, &a, &prepared, &mut serial, m);
+        for (i, r) in eager.iter().enumerate() {
+            assert_eq!(
+                r.to_bits(),
+                served[i].to_bits(),
+                "{}: {m}x{k}x{n} elem {i}: eager {r} vs prepared {}",
+                mul.name(),
+                served[i]
+            );
+            assert_eq!(
+                r.to_bits(),
+                serial[i].to_bits(),
+                "{}: {m}x{k}x{n} elem {i}: eager {r} vs prepared-serial {}",
+                mul.name(),
+                serial[i]
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_b_bit_matches_gemm_for_every_backend_class() {
+        // One backend per PreparedGemmB variant: Packed (native f32),
+        // Panels (panel cache), Fused (raw fallback — an exotic format
+        // ApproxFpMul keeps the FpScalar path).
+        let pc3 = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+        let quant = QuantizedExactMul::new(FpFormat::BF16);
+        // e11m9: exponent range beyond f32's, so the fast-f32 panel
+        // cache is off and PreparedGemmB keeps the raw fused fallback.
+        let exotic = ApproxFpMul::new(MultiplierConfig::FLA, FpFormat::new(11, 9).unwrap());
+        let muls: [&dyn ScalarMul; 4] = [&ExactMul, &pc3, &quant, &exotic];
+        for mul in muls {
+            for &(m, k, n) in &[(1, 7, 9), (3, 5, 7), (33, 17, 9), (64, 32, 32)] {
+                assert_prepared_b_matches_gemm(mul, m, k, n);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_b_serves_the_m_equals_1_case() {
+        // Regression for the m > 1 prepared gate in `gemm`: a persistent
+        // panel must serve single-sample requests bit-identically to the
+        // eager engine (which routes m == 1 to the fused path).
+        let pc3 = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+        let quant = QuantizedExactMul::new(FpFormat::BF16);
+        let muls: [&dyn ScalarMul; 3] = [&ExactMul, &pc3, &quant];
+        for mul in muls {
+            for &(k, n) in &[(1, 1), (5, 9), (KC + 3, 5), (3, NC + 9), (64, 64)] {
+                assert_prepared_b_matches_gemm(mul, 1, k, n);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_b_crosses_tile_boundaries() {
+        let pc3 = ApproxFpMul::new(MultiplierConfig::PC2_TR, FpFormat::BF16);
+        assert_prepared_b_matches_gemm(&pc3, 2, KC + 3, 5);
+        assert_prepared_b_matches_gemm(&pc3, 2, 3, NC + 9);
+        assert_prepared_b_matches_gemm(&ExactMul, 2, KC + 3, NC + 9);
+    }
+
+    #[test]
+    fn prepared_b_degenerate_shapes_are_noops() {
+        let mut c = [7.0f32];
+        let empty = PreparedGemmB::new(&ExactMul, &[], 0, 1);
+        gemm_with_prepared_b(&ExactMul, &[], &empty, &mut c, 1);
+        gemm_with_prepared_b_serial(&ExactMul, &[], &empty, &mut c, 1);
+        assert_eq!(c[0], 7.0);
+    }
+
+    #[test]
+    fn prepared_b_panels_are_reusable_across_calls() {
+        // The whole point: one prepare, many requests — later requests
+        // must not observe state left by earlier ones.
+        let mul = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+        let (k, n) = (24usize, 40usize);
+        let b = test_matrix(k * n, 8);
+        let prepared = PreparedGemmB::new(&mul, &b, k, n);
+        for seed in 0..4 {
+            let a = test_matrix(k, 100 + seed);
+            let mut eager = vec![0.0f32; n];
+            gemm(&mul, &a, &b, &mut eager, 1, k, n);
+            let mut served = vec![0.0f32; n];
+            gemm_with_prepared_b(&mul, &a, &prepared, &mut served, 1);
+            for (r, s) in eager.iter().zip(&served) {
+                assert_eq!(r.to_bits(), s.to_bits(), "request {seed} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_panel_prepared_b_falls_back_correctly() {
+        // Panels prepared by one panel-caching backend served through
+        // another must match the consumer's own eager semantics.
+        let preparer = QuantizedExactMul::new(FpFormat::BF16);
+        let consumer = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+        let (m, k, n) = (3usize, 5, 7);
+        let a = test_matrix(m * k, 1);
+        let b = test_matrix(k * n, 2);
+        let prepared = PreparedGemmB::new(&preparer, &b, k, n);
+        let mut eager = vec![0.0f32; m * n];
+        gemm(&consumer, &a, &b, &mut eager, m, k, n);
+        let mut served = vec![0.0f32; m * n];
+        gemm_with_prepared_b(&consumer, &a, &prepared, &mut served, m);
+        for (r, s) in eager.iter().zip(&served) {
+            assert_eq!(r.to_bits(), s.to_bits(), "foreign panel diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "native-f32")]
+    fn packed_prepared_b_rejects_non_native_consumer() {
+        let b = test_matrix(4, 2);
+        let prepared = PreparedGemmB::new(&ExactMul, &b, 2, 2);
+        let mul = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+        let mut c = [0.0f32; 2];
+        gemm_with_prepared_b(&mul, &[1.0, 2.0], &prepared, &mut c, 1);
+    }
+
+    // ---------------------------------------------------------------
     // BlockFpGemm
     // ---------------------------------------------------------------
 
@@ -1121,6 +1708,61 @@ mod tests {
                 assert_eq!(t.to_bits(), w.to_bits(), "{config}: {t} vs {w}");
             }
         }
+    }
+
+    #[test]
+    fn blockfp_prepared_operands_bit_match_execute() {
+        // Both prepared entry points must equal the eager engine bit for
+        // bit — across shapes that straddle tile boundaries, including
+        // the single-row serving case.
+        let engine = BlockFpGemm::with_tiles(MultiplierConfig::PC3_TR, 12, 3, 4);
+        for &(m, k, n) in &[(1, 1, 1), (1, 7, 9), (3, 5, 7), (6, 8, 9), (33, 17, 9)] {
+            let a = test_matrix(m * k, 31);
+            let b = test_matrix(k * n, 32);
+            let mut eager = vec![0.0f32; m * n];
+            engine.execute(&a, &b, &mut eager, m, k, n);
+            let bp = engine.prepare_b(&b, k, n);
+            assert_eq!((bp.k(), bp.n()), (k, n));
+            let mut served_b = vec![0.0f32; m * n];
+            engine.execute_with_prepared_b(&a, &bp, &mut served_b, m);
+            let ap = engine.prepare_a(&a, m, k);
+            assert_eq!((ap.m(), ap.k()), (m, k));
+            let mut served_a = vec![0.0f32; m * n];
+            engine.execute_with_prepared_a(&ap, &b, &mut served_a, n);
+            for (i, r) in eager.iter().enumerate() {
+                assert_eq!(r.to_bits(), served_b[i].to_bits(), "{m}x{k}x{n} prepared-B elem {i}");
+                assert_eq!(r.to_bits(), served_a[i].to_bits(), "{m}x{k}x{n} prepared-A elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn blockfp_prepared_b_reusable_across_requests() {
+        let engine = BlockFpGemm::new(MultiplierConfig::PC3_TR, 9);
+        let (k, n) = (16usize, 12);
+        let b = test_matrix(k * n, 41);
+        let bp = engine.prepare_b(&b, k, n);
+        for seed in 0..3 {
+            let a = test_matrix(k, 50 + seed);
+            let mut eager = vec![0.0f32; n];
+            engine.execute(&a, &b, &mut eager, 1, k, n);
+            let mut served = vec![0.0f32; n];
+            engine.execute_with_prepared_b(&a, &bp, &mut served, 1);
+            for (r, s) in eager.iter().zip(&served) {
+                assert_eq!(r.to_bits(), s.to_bits(), "request {seed} diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry does not match")]
+    fn blockfp_prepared_b_rejects_mismatched_engine() {
+        let coarse = BlockFpGemm::with_tiles(MultiplierConfig::PC3, 9, 4, 4);
+        let fine = BlockFpGemm::with_tiles(MultiplierConfig::PC3, 9, 2, 4);
+        let b = test_matrix(8, 1);
+        let bp = coarse.prepare_b(&b, 4, 2);
+        let mut c = [0.0f32; 2];
+        fine.execute_with_prepared_b(&[1.0; 4], &bp, &mut c, 1);
     }
 
     #[test]

@@ -84,7 +84,8 @@ pub use error::CoreError;
 pub use fp::{ApproxFpMul, ExactMul, PreparedPanel, QuantizedExactMul, ScalarMul};
 pub use gemm::{
     gemm, gemm_microkernel_serial, gemm_prepared_serial, gemm_reference, gemm_tiled_serial,
-    BlockFpGemm,
+    gemm_with_prepared_b, gemm_with_prepared_b_serial, BlockFpGemm, BlockFpPreparedA,
+    BlockFpPreparedB, PreparedGemmB,
 };
 pub use lines::{LineLayout, LineSpec};
 pub use mantissa::{exact_mul, MantissaMultiplier, PreparedMultiplicand};

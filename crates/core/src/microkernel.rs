@@ -273,6 +273,91 @@ fn block_packed(
     }
 }
 
+/// One `KC × NC` block of B packed into `NR`-major panels, with the
+/// geometry needed to replay it against any C rows — the persistent
+/// form of the packing [`serial_with`] does per call, so a compiled
+/// inference session can pay the pack **once per weight matrix**
+/// instead of once per request.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedBBlock {
+    l0: usize,
+    kc: usize,
+    j0: usize,
+    jw: usize,
+    data: Vec<f32>,
+}
+
+/// Packs every `KC × NC` block of B in the engine's walk order (`j0`
+/// outer, `l0` inner — the order that keeps per-element accumulation
+/// ascending in `k`).
+pub(crate) fn pack_b_blocks(b: &[f32], k: usize, n: usize) -> Vec<PackedBBlock> {
+    let mut blocks = Vec::new();
+    for j0 in (0..n).step_by(NC) {
+        let jw = NC.min(n - j0);
+        for l0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - l0);
+            let mut data = Vec::new();
+            pack_b(b, n, l0, kc, j0, jw, &mut data);
+            blocks.push(PackedBBlock { l0, kc, j0, jw, data });
+        }
+    }
+    blocks
+}
+
+/// [`gemm_f32_microkernel`] against pre-packed B blocks (from
+/// [`pack_b_blocks`]), serial. Identical block walk, identical
+/// kernels, identical accumulation order — bit-identical to packing B
+/// per call, for any `m` (a one-row problem just runs the fringe
+/// kernel).
+pub(crate) fn gemm_packed_serial(
+    a: &[f32],
+    blocks: &[PackedBBlock],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let use_avx2 = avx2_available();
+    let mut apack = Vec::new();
+    for blk in blocks {
+        for i0 in (0..m).step_by(MC) {
+            let mh = MC.min(m - i0);
+            pack_a(a, k, i0, mh, blk.l0, blk.kc, &mut apack);
+            block_packed(&apack, &blk.data, c, n, i0, mh, blk.j0, blk.jw, blk.kc, use_avx2);
+        }
+    }
+}
+
+/// [`gemm_f32_microkernel_parallel`] against pre-packed B blocks: C row
+/// chunks over the pool, the packed blocks shared read-only — B is
+/// packed **zero** times per GEMM. Byte-identical to the serial packed
+/// kernel for any chunk size or thread count.
+pub(crate) fn gemm_packed_parallel(
+    a: &[f32],
+    blocks: &[PackedBBlock],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    chunk_rows: usize,
+) {
+    use rayon::prelude::*;
+    let use_avx2 = avx2_available();
+    for blk in blocks {
+        c.par_chunks_mut(chunk_rows * n).enumerate().for_each(|(ci, cpanel)| {
+            let rows = cpanel.len() / n;
+            let base = ci * chunk_rows;
+            let mut apack = Vec::new();
+            for i0 in (0..rows).step_by(MC) {
+                let mh = MC.min(rows - i0);
+                pack_a(a, k, base + i0, mh, blk.l0, blk.kc, &mut apack);
+                block_packed(
+                    &apack, &blk.data, cpanel, n, i0, mh, blk.j0, blk.jw, blk.kc, use_avx2,
+                );
+            }
+        });
+    }
+}
+
 fn serial_with(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, use_avx2: bool) {
     let mut bpack = Vec::new();
     let mut apack = Vec::new();

@@ -10,8 +10,9 @@
 
 use daism_core::{
     gemm, gemm_f32_microkernel, gemm_f32_microkernel_portable, gemm_microkernel_serial,
-    gemm_prepared_serial, gemm_reference, gemm_tiled_serial, ApproxFpMul, ExactMul,
-    MantissaMultiplier, MultiplierConfig, OperandMode, QuantizedExactMul, ScalarMul,
+    gemm_prepared_serial, gemm_reference, gemm_tiled_serial, gemm_with_prepared_b,
+    gemm_with_prepared_b_serial, ApproxFpMul, ExactMul, MantissaMultiplier, MultiplierConfig,
+    OperandMode, PreparedGemmB, QuantizedExactMul, ScalarMul,
 };
 use daism_num::FpFormat;
 use proptest::prelude::*;
@@ -109,6 +110,41 @@ fn assert_all_backends_bit_identical(
                 i,
                 r,
                 s
+            );
+        }
+        // The compiled-session path: B prepared once, served through
+        // `gemm_with_prepared_b` (auto-dispatch) and its forced-serial
+        // twin — both must stay on the reference's bits, for every
+        // backend class and every shape including m == 1.
+        let prepared_b = PreparedGemmB::new(mul.as_ref(), b, k, n);
+        let mut served = vec![0.0f32; m * n];
+        gemm_with_prepared_b(mul.as_ref(), a, &prepared_b, &mut served, m);
+        let mut served_serial = vec![0.0f32; m * n];
+        gemm_with_prepared_b_serial(mul.as_ref(), a, &prepared_b, &mut served_serial, m);
+        for (i, ((r, s), t)) in reference.iter().zip(&served).zip(&served_serial).enumerate() {
+            prop_assert_eq!(
+                r.to_bits(),
+                s.to_bits(),
+                "{} {}x{}x{} element {}: reference {} vs prepared-B {}",
+                mul.name(),
+                m,
+                k,
+                n,
+                i,
+                r,
+                s
+            );
+            prop_assert_eq!(
+                r.to_bits(),
+                t.to_bits(),
+                "{} {}x{}x{} element {}: reference {} vs prepared-B-serial {}",
+                mul.name(),
+                m,
+                k,
+                n,
+                i,
+                r,
+                t
             );
         }
     }

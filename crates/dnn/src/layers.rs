@@ -1,6 +1,10 @@
 use crate::gemm::gemm;
+use crate::session::{
+    CompiledConv, CompiledConvWeights, CompiledDense, CompiledDenseWeights, CompiledLayer,
+    InferenceBackendRef,
+};
 use crate::tensor::Tensor;
-use daism_core::{BlockFpGemm, ExactMul, ScalarMul};
+use daism_core::{BlockFpGemm, ExactMul, PreparedGemmB, ScalarMul};
 
 /// A trainable parameter: value, gradient accumulator and SGD momentum
 /// buffer.
@@ -62,6 +66,27 @@ pub trait Layer {
     /// Mutable access to the layer's parameters (empty by default).
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
+    }
+
+    /// Shared access to the layer's parameters (empty by default) —
+    /// what the compiled-session staleness fingerprint hashes.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Compiles this layer into its immutable serving form for
+    /// `backend` — an owned snapshot of the weights with every
+    /// per-request operand conversion (panel decode, microkernel
+    /// packing, BlockFp quantization) already done, served through
+    /// `&self` so one compiled model can be shared across threads (see
+    /// [`CompiledModel`](crate::CompiledModel)).
+    ///
+    /// Returns `None` when the layer has no compiled form (the
+    /// default); [`Sequential::compile`](crate::Sequential) then falls
+    /// back to eager execution for the whole model.
+    fn compile_layer(&self, backend: InferenceBackendRef<'_>) -> Option<CompiledLayer> {
+        let _ = backend;
+        None
     }
 
     /// Layer name for summaries.
@@ -186,6 +211,33 @@ impl Layer for Dense {
         vec![&mut self.w, &mut self.b]
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn compile_layer(&self, backend: InferenceBackendRef<'_>) -> Option<CompiledLayer> {
+        // Dense multiplies Wᵀ from the right: the weights are the B
+        // operand, so the whole per-request conversion (panel decode /
+        // microkernel packing / BlockFp tile quantization) is hoisted
+        // into the snapshot.
+        let wt = self.weight_t();
+        let weights =
+            match backend {
+                InferenceBackendRef::Scalar(mul) => CompiledDenseWeights::Scalar(
+                    PreparedGemmB::new(mul, &wt, self.in_features, self.out_features),
+                ),
+                InferenceBackendRef::BlockFp(engine) => CompiledDenseWeights::BlockFp(
+                    engine.prepare_b(&wt, self.in_features, self.out_features),
+                ),
+            };
+        Some(CompiledLayer::dense(CompiledDense {
+            in_features: self.in_features,
+            out_features: self.out_features,
+            bias: self.b.value.data().to_vec(),
+            weights,
+        }))
+    }
+
     fn name(&self) -> String {
         format!("Dense({}->{})", self.in_features, self.out_features)
     }
@@ -194,6 +246,112 @@ impl Layer for Dense {
 // -------------------------------------------------------------------
 // Conv2d
 // -------------------------------------------------------------------
+
+/// The geometry of a conv lowering — shared by the eager [`Conv2d`]
+/// layer and its compiled serving snapshot, so the bounds / padding /
+/// stride math exists exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ConvGeom {
+    pub(crate) in_ch: usize,
+    pub(crate) out_ch: usize,
+    pub(crate) kernel: usize,
+    pub(crate) stride: usize,
+    pub(crate) padding: usize,
+}
+
+impl ConvGeom {
+    pub(crate) fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.padding - self.kernel) / self.stride + 1,
+            (w + 2 * self.padding - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Rows of the lowered kernel matrix: `in_ch · k · k`.
+    pub(crate) fn kdim(&self) -> usize {
+        self.in_ch * self.kernel * self.kernel
+    }
+
+    /// The single lowering walk behind every im2col entry point: always
+    /// fills `cols` as `[in_ch·k·k, batch·oh·ow]` (sample-major
+    /// columns, padding positions zero), and mirrors every element into
+    /// the transposed `colst` when given one.
+    pub(crate) fn lower_batch(
+        &self,
+        x: &Tensor,
+        cols: &mut Vec<f32>,
+        colst: Option<&mut Vec<f32>>,
+    ) {
+        let (batch, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let p = oh * ow;
+        let bp = batch * p;
+        let kk = self.kernel;
+        let rows = self.in_ch * kk * kk;
+        cols.clear();
+        cols.resize(rows * bp, 0.0);
+        let mut colst = colst.map(|t| {
+            t.clear();
+            t.resize(bp * rows, 0.0);
+            t.as_mut_slice()
+        });
+        for n in 0..batch {
+            for c in 0..self.in_ch {
+                for ki in 0..kk {
+                    for kj in 0..kk {
+                        let row = (c * kk + ki) * kk + kj;
+                        for oi in 0..oh {
+                            let src_i = (oi * self.stride + ki) as isize - self.padding as isize;
+                            if src_i < 0 || src_i >= h as isize {
+                                continue;
+                            }
+                            for oj in 0..ow {
+                                let src_j =
+                                    (oj * self.stride + kj) as isize - self.padding as isize;
+                                if src_j < 0 || src_j >= w as isize {
+                                    continue;
+                                }
+                                let q = n * p + oi * ow + oj;
+                                let v = x.data()[x.offset4(n, c, src_i as usize, src_j as usize)];
+                                cols[row * bp + q] = v;
+                                if let Some(t) = colst.as_mut() {
+                                    t[q * rows + row] = v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Un-stages a `[out_ch, batch·oh·ow]` GEMM result into a
+    /// `[batch, out_ch, oh, ow]` tensor, adding the channel bias.
+    pub(crate) fn unstage_with_bias(
+        &self,
+        bias: &[f32],
+        staged: &[f32],
+        batch: usize,
+        oh: usize,
+        ow: usize,
+    ) -> Tensor {
+        let p = oh * ow;
+        let bp = batch * p;
+        let mut y = Tensor::zeros(&[batch, self.out_ch, oh, ow]);
+        for n in 0..batch {
+            for c in 0..self.out_ch {
+                let b = bias[c];
+                let src = &staged[c * bp + n * p..c * bp + (n + 1) * p];
+                let dst =
+                    &mut y.data_mut()[(n * self.out_ch + c) * p..(n * self.out_ch + c + 1) * p];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = s + b;
+                }
+            }
+        }
+        y
+    }
+}
 
 /// 2-D convolution over `[batch, ch, h, w]`, lowered to a **batched**
 /// im2col GEMM — exactly the lowering the DAISM accelerator executes
@@ -261,11 +419,19 @@ impl Conv2d {
         }
     }
 
+    /// This layer's lowering geometry (the compiled snapshot shares it).
+    fn geom(&self) -> ConvGeom {
+        ConvGeom {
+            in_ch: self.in_ch,
+            out_ch: self.out_ch,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        }
+    }
+
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        (
-            (h + 2 * self.padding - self.kernel) / self.stride + 1,
-            (w + 2 * self.padding - self.kernel) / self.stride + 1,
-        )
+        self.geom().out_hw(h, w)
     }
 
     /// Batched im2col into **both** GEMM layouts in one walk: `cols` as
@@ -284,72 +450,19 @@ impl Conv2d {
         self.lower_batch(x, cols, None);
     }
 
-    /// The single lowering walk behind both im2col entry points, so the
-    /// bounds/padding/stride math exists exactly once: always fills
-    /// `cols`, and mirrors every element into the transposed `colst`
-    /// when given one.
+    /// The single lowering walk behind both im2col entry points lives
+    /// on [`ConvGeom::lower_batch`] (shared with the compiled serving
+    /// snapshot), so the bounds/padding/stride math exists exactly
+    /// once: always fills `cols`, and mirrors every element into the
+    /// transposed `colst` when given one.
     fn lower_batch(&self, x: &Tensor, cols: &mut Vec<f32>, colst: Option<&mut Vec<f32>>) {
-        let (batch, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
-        let (oh, ow) = self.out_hw(h, w);
-        let p = oh * ow;
-        let bp = batch * p;
-        let kk = self.kernel;
-        let rows = self.in_ch * kk * kk;
-        cols.clear();
-        cols.resize(rows * bp, 0.0);
-        let mut colst = colst.map(|t| {
-            t.clear();
-            t.resize(bp * rows, 0.0);
-            t.as_mut_slice()
-        });
-        for n in 0..batch {
-            for c in 0..self.in_ch {
-                for ki in 0..kk {
-                    for kj in 0..kk {
-                        let row = (c * kk + ki) * kk + kj;
-                        for oi in 0..oh {
-                            let src_i = (oi * self.stride + ki) as isize - self.padding as isize;
-                            if src_i < 0 || src_i >= h as isize {
-                                continue;
-                            }
-                            for oj in 0..ow {
-                                let src_j =
-                                    (oj * self.stride + kj) as isize - self.padding as isize;
-                                if src_j < 0 || src_j >= w as isize {
-                                    continue;
-                                }
-                                let q = n * p + oi * ow + oj;
-                                let v = x.data()[x.offset4(n, c, src_i as usize, src_j as usize)];
-                                cols[row * bp + q] = v;
-                                if let Some(t) = colst.as_mut() {
-                                    t[q * rows + row] = v;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        self.geom().lower_batch(x, cols, colst);
     }
 
     /// Un-stages a `[out_ch, batch·oh·ow]` GEMM result into a
     /// `[batch, out_ch, oh, ow]` tensor, adding the channel bias.
     fn unstage_with_bias(&self, staged: &[f32], batch: usize, oh: usize, ow: usize) -> Tensor {
-        let p = oh * ow;
-        let bp = batch * p;
-        let mut y = Tensor::zeros(&[batch, self.out_ch, oh, ow]);
-        for n in 0..batch {
-            for c in 0..self.out_ch {
-                let bias = self.b.value.data()[c];
-                let src = &staged[c * bp + n * p..c * bp + (n + 1) * p];
-                let dst =
-                    &mut y.data_mut()[(n * self.out_ch + c) * p..(n * self.out_ch + c + 1) * p];
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d = s + bias;
-                }
-            }
-        }
-        y
+        self.geom().unstage_with_bias(self.b.value.data(), staged, batch, oh, ow)
     }
 
     /// Batched col2im: scatter-adds a `[in_ch·k·k, batch·oh·ow]`
@@ -529,6 +642,33 @@ impl Layer for Conv2d {
         vec![&mut self.w, &mut self.b]
     }
 
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn compile_layer(&self, backend: InferenceBackendRef<'_>) -> Option<CompiledLayer> {
+        // Conv2d multiplies the kernel matrix from the *left* (A
+        // operand); the per-request B operand is the im2col lowering of
+        // the input, so what the snapshot hoists is the A-side work:
+        // the weight copy (serving never re-reads the layer) and, on
+        // the BlockFp backend, the per-(row, k-tile) quantization of
+        // the kernel matrix.
+        let weights =
+            match backend {
+                InferenceBackendRef::Scalar(_) => {
+                    CompiledConvWeights::Scalar(self.w.value.data().to_vec())
+                }
+                InferenceBackendRef::BlockFp(engine) => CompiledConvWeights::BlockFp(
+                    engine.prepare_a(self.w.value.data(), self.out_ch, self.geom().kdim()),
+                ),
+            };
+        Some(CompiledLayer::conv(CompiledConv {
+            geom: self.geom(),
+            bias: self.b.value.data().to_vec(),
+            weights,
+        }))
+    }
+
     fn name(&self) -> String {
         format!(
             "Conv2d({}->{}, {}x{}, s{}, p{})",
@@ -568,6 +708,10 @@ impl Layer for ReLU {
         Tensor::from_vec(data, grad.shape())
     }
 
+    fn compile_layer(&self, _backend: InferenceBackendRef<'_>) -> Option<CompiledLayer> {
+        Some(CompiledLayer::relu())
+    }
+
     fn name(&self) -> String {
         "ReLU".into()
     }
@@ -587,41 +731,62 @@ impl MaxPool2d {
     }
 }
 
-impl Layer for MaxPool2d {
-    fn forward(&mut self, x: &Tensor, _mul: &dyn ScalarMul, training: bool) -> Tensor {
-        assert_eq!(x.shape().len(), 4, "MaxPool2d expects [batch, ch, h, w]");
-        let (batch, ch, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-        assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2d needs even spatial dims, got {h}x{w}");
-        let (oh, ow) = (h / 2, w / 2);
-        let mut y = Tensor::zeros(&[batch, ch, oh, ow]);
-        let mut argmax = vec![0usize; batch * ch * oh * ow];
-        let mut oi = 0;
-        for n in 0..batch {
-            for c in 0..ch {
-                for i in 0..oh {
-                    for j in 0..ow {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_off = 0;
-                        for di in 0..2 {
-                            for dj in 0..2 {
-                                let off = x.offset4(n, c, 2 * i + di, 2 * j + dj);
-                                if x.data()[off] > best {
-                                    best = x.data()[off];
-                                    best_off = off;
-                                }
+/// The pure 2×2/stride-2 max-pool walk, shared by the eager layer and
+/// the compiled serving path. `argmax`, when given, is resized and
+/// filled with the winning input offsets (what backward needs); the
+/// compiled path passes `None` so serving a request allocates nothing
+/// beyond the pooled tensor.
+///
+/// # Panics
+///
+/// Panics if `x` is not `[batch, ch, h, w]` with even spatial dims.
+pub(crate) fn maxpool2x2(x: &Tensor, mut argmax: Option<&mut Vec<usize>>) -> Tensor {
+    assert_eq!(x.shape().len(), 4, "MaxPool2d expects [batch, ch, h, w]");
+    let (batch, ch, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    assert!(h % 2 == 0 && w % 2 == 0, "MaxPool2d needs even spatial dims, got {h}x{w}");
+    let (oh, ow) = (h / 2, w / 2);
+    let mut y = Tensor::zeros(&[batch, ch, oh, ow]);
+    if let Some(am) = argmax.as_deref_mut() {
+        am.clear();
+        am.resize(batch * ch * oh * ow, 0);
+    }
+    let mut oi = 0;
+    for n in 0..batch {
+        for c in 0..ch {
+            for i in 0..oh {
+                for j in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_off = 0;
+                    for di in 0..2 {
+                        for dj in 0..2 {
+                            let off = x.offset4(n, c, 2 * i + di, 2 * j + dj);
+                            if x.data()[off] > best {
+                                best = x.data()[off];
+                                best_off = off;
                             }
                         }
-                        y.data_mut()[oi] = best;
-                        argmax[oi] = best_off;
-                        oi += 1;
                     }
+                    y.data_mut()[oi] = best;
+                    if let Some(am) = argmax.as_deref_mut() {
+                        am[oi] = best_off;
+                    }
+                    oi += 1;
                 }
             }
         }
-        if training {
-            self.argmax = Some(argmax);
-            self.in_shape = Some(x.shape().to_vec());
+    }
+    y
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _mul: &dyn ScalarMul, training: bool) -> Tensor {
+        if !training {
+            return maxpool2x2(x, None);
         }
+        let mut argmax = Vec::new();
+        let y = maxpool2x2(x, Some(&mut argmax));
+        self.argmax = Some(argmax);
+        self.in_shape = Some(x.shape().to_vec());
         y
     }
 
@@ -633,6 +798,10 @@ impl Layer for MaxPool2d {
             gx.data_mut()[off] += g;
         }
         gx
+    }
+
+    fn compile_layer(&self, _backend: InferenceBackendRef<'_>) -> Option<CompiledLayer> {
+        Some(CompiledLayer::maxpool())
     }
 
     fn name(&self) -> String {
@@ -666,6 +835,10 @@ impl Layer for Flatten {
     fn backward(&mut self, grad: &Tensor, _mul: &dyn ScalarMul) -> Tensor {
         let shape = self.in_shape.as_ref().expect("Flatten::backward before forward");
         grad.reshape(shape)
+    }
+
+    fn compile_layer(&self, _backend: InferenceBackendRef<'_>) -> Option<CompiledLayer> {
+        Some(CompiledLayer::flatten())
     }
 
     fn name(&self) -> String {
@@ -712,6 +885,14 @@ impl Layer for Residual {
         self.inner.params_mut()
     }
 
+    fn params(&self) -> Vec<&Param> {
+        self.inner.params()
+    }
+
+    fn compile_layer(&self, backend: InferenceBackendRef<'_>) -> Option<CompiledLayer> {
+        Some(CompiledLayer::residual(self.inner.compile_chain(backend)?))
+    }
+
     fn name(&self) -> String {
         format!("Residual[{}]", self.inner.name())
     }
@@ -745,6 +926,17 @@ impl Sequential {
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
     }
+
+    /// Compiles every layer of the chain, or `None` if any layer has no
+    /// compiled form — the shared walk behind
+    /// [`Sequential::try_compile`](crate::Sequential::try_compile) and
+    /// the container `compile_layer` implementations.
+    pub(crate) fn compile_chain(
+        &self,
+        backend: InferenceBackendRef<'_>,
+    ) -> Option<Vec<CompiledLayer>> {
+        self.layers.iter().map(|l| l.compile_layer(backend)).collect()
+    }
 }
 
 impl Layer for Sequential {
@@ -774,6 +966,14 @@ impl Layer for Sequential {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn compile_layer(&self, backend: InferenceBackendRef<'_>) -> Option<CompiledLayer> {
+        Some(CompiledLayer::seq(self.compile_chain(backend)?))
     }
 
     fn name(&self) -> String {

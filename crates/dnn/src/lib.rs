@@ -21,6 +21,14 @@
 //! [`BlockFpGemm`](daism_core::BlockFpGemm); [`blockfp_gemm`] is the
 //! standalone matrix entry point.
 //!
+//! For serving, models **compile once and serve many**:
+//! [`Sequential::compile`] snapshots every layer's weights in their
+//! backend-prepared form (no per-request operand re-decode),
+//! [`CompiledModel::forward`] takes `&self` so one session is shared
+//! across threads, and [`InferenceSession`] micro-batches queued
+//! requests into one batched GEMM per layer — all byte-identical to
+//! the eager forwards (see the [`session`-module docs](CompiledModel)).
+//!
 //! # Example
 //!
 //! ```
@@ -50,10 +58,12 @@ pub mod datasets;
 mod gemm;
 mod layers;
 pub mod models;
+mod session;
 mod tensor;
 pub mod train;
 
 pub use blockfp::blockfp_gemm;
 pub use gemm::{gemm, gemm_reference};
 pub use layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Param, ReLU, Residual, Sequential};
+pub use session::{CompiledLayer, CompiledModel, InferenceBackendRef, InferenceSession};
 pub use tensor::Tensor;

@@ -128,22 +128,24 @@ pub fn fit(
     history
 }
 
-/// The shared chunked-evaluation loop behind [`accuracy`] and
-/// [`accuracy_blockfp`]: `forward` maps an input batch to logits.
-fn accuracy_with(
-    model: &mut Sequential,
+/// The one chunked-evaluation loop behind every accuracy entry point:
+/// `forward` maps an input chunk to logits. Chunking bounds activation
+/// memory; it exists exactly once so the eager and compiled evaluators
+/// can never disagree on how a test set is split (BlockFp conv outputs
+/// depend on batch grouping, so a split mismatch would break the
+/// byte-parity guarantee).
+fn accuracy_chunks(
     x: &Tensor,
     labels: &[usize],
-    forward: impl Fn(&mut Sequential, &Tensor) -> Tensor,
+    mut forward: impl FnMut(&Tensor) -> Tensor,
 ) -> f32 {
-    // Evaluate in chunks to bound activation memory.
     let n = x.shape()[0];
     let chunk = 64usize;
     let mut correct = 0usize;
     let mut start = 0;
     while start < n {
         let end = (start + chunk).min(n);
-        let logits = forward(model, &slice_batch(x, start, end));
+        let logits = forward(&slice_batch(x, start, end));
         let pred = logits.argmax_rows();
         correct += pred.iter().zip(&labels[start..end]).filter(|(p, l)| p == l).count();
         start = end;
@@ -151,22 +153,45 @@ fn accuracy_with(
     correct as f32 / n as f32
 }
 
+/// Classification accuracy on `(x, labels)` through an
+/// already-[compiled](crate::CompiledModel) model — the serving-path
+/// evaluator [`accuracy`] and [`accuracy_blockfp`] route through, also
+/// usable directly when the caller wants to amortise one compile over
+/// many evaluations.
+pub fn accuracy_compiled(model: &crate::CompiledModel<'_>, x: &Tensor, labels: &[usize]) -> f32 {
+    accuracy_chunks(x, labels, |xb| model.forward(xb))
+}
+
 /// Classification accuracy of `model` on `(x, labels)` under `mul`.
+///
+/// The evaluation loop compiles the model once (weights prepared in
+/// `mul`'s serving form) and scores every chunk through the compiled
+/// session; models with uncompilable custom layers fall back to eager
+/// forwards. Either way the outputs — and therefore the accuracy — are
+/// byte-identical.
 pub fn accuracy(model: &mut Sequential, x: &Tensor, labels: &[usize], mul: &dyn ScalarMul) -> f32 {
-    accuracy_with(model, x, labels, |m, xb| m.forward(xb, mul, false))
+    if let Some(compiled) = model.try_compile(crate::InferenceBackendRef::Scalar(mul)) {
+        return accuracy_compiled(&compiled, x, labels);
+    }
+    accuracy_chunks(x, labels, |xb| model.forward(xb, mul, false))
 }
 
 /// Classification accuracy of `model` on `(x, labels)` with every layer
 /// GEMM routed through the **block-floating-point** engine — the
 /// paper's BlockFp inference scenario, end to end (train in float,
-/// deploy on the integer-mode approximate datapath).
+/// deploy on the integer-mode approximate datapath). Evaluates through
+/// a compiled session (weight tiles quantized once) when the model
+/// compiles, eagerly otherwise — byte-identical either way.
 pub fn accuracy_blockfp(
     model: &mut Sequential,
     x: &Tensor,
     labels: &[usize],
     engine: &daism_core::BlockFpGemm,
 ) -> f32 {
-    accuracy_with(model, x, labels, |m, xb| m.forward_blockfp(xb, engine))
+    if let Some(compiled) = model.try_compile(crate::InferenceBackendRef::BlockFp(engine)) {
+        return accuracy_compiled(&compiled, x, labels);
+    }
+    accuracy_chunks(x, labels, |xb| model.forward_blockfp(xb, engine))
 }
 
 #[cfg(test)]

@@ -1,0 +1,32 @@
+//! Pool-size invariance of compiled serving: a shared session's output
+//! must be byte-identical under `RAYON_NUM_THREADS` 1 and 4.
+//!
+//! This is deliberately the **only** test in this binary: the vendored
+//! pool re-reads `RAYON_NUM_THREADS` per call via `getenv`, and glibc's
+//! `setenv` is not safe against concurrent `getenv` from worker
+//! threads — the very race PR 2 removed from the pool's own tests with
+//! an in-process override. A single-test process flips the variable
+//! only while no other test can be mid-GEMM.
+
+use daism_core::{ApproxFpMul, MultiplierConfig};
+use daism_dnn::{models, Tensor};
+use daism_num::FpFormat;
+
+#[test]
+fn compiled_serving_is_invariant_to_pool_size() {
+    let mul = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+    let model = models::mlp(64, 64, 8, 2); // 32 x 64x64: above the 16k-MAC gate
+    let compiled = model.compile(&mul);
+    let x = Tensor::randn(&[32, 64], 1.0, 91);
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let serial = compiled.forward(&x);
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let pooled = compiled.forward(&x);
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(serial.shape(), pooled.shape());
+    for (i, (a, b)) in serial.data().iter().zip(pooled.data()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "element {i} diverged across pool sizes: {a} vs {b}");
+    }
+}

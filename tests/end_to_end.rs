@@ -89,6 +89,59 @@ fn accuracy_ladder_matches_error_ladder() {
 }
 
 #[test]
+fn train_in_float_compile_and_serve_on_approx_datapaths() {
+    // The deployment story end to end: train in exact float, compile
+    // the trained model once per target datapath, then serve requests
+    // through compiled sessions — with accuracy parity against the
+    // eager evaluators (`accuracy` / `accuracy_blockfp`), which the
+    // bit-identity of compiled serving guarantees exactly.
+    use daism::dnn::{train::accuracy_compiled, InferenceSession};
+    use daism::BlockFpGemm;
+
+    let data = datasets::gaussian_blobs(3, 8, 180, 60, 19);
+    let mut model = models::mlp(8, 16, 3, 1);
+    train::fit(
+        &mut model,
+        &data,
+        &ExactMul,
+        &train::TrainParams { epochs: 6, ..train::TrainParams::quick_test() },
+    );
+
+    let pc3 = ApproxFpMul::new(MultiplierConfig::PC3_TR, FpFormat::BF16);
+    let engine = BlockFpGemm::new(MultiplierConfig::PC3_TR, 12);
+    let eager_float = train::accuracy(&mut model, &data.test_x, &data.test_y, &pc3);
+    let eager_bfp = train::accuracy_blockfp(&mut model, &data.test_x, &data.test_y, &engine);
+
+    // Compiled sessions serve the same test set — identical accuracy.
+    let compiled_float = model.compile(&pc3);
+    assert_eq!(accuracy_compiled(&compiled_float, &data.test_x, &data.test_y), eager_float);
+    let compiled_bfp = model.compile_blockfp(&engine);
+    assert_eq!(accuracy_compiled(&compiled_bfp, &data.test_x, &data.test_y), eager_bfp);
+
+    // And a micro-batched request stream scores the same predictions.
+    let mut session = InferenceSession::new(&compiled_bfp);
+    let n = data.test_x.shape()[0];
+    let per = data.test_x.len() / n;
+    for s in 0..n {
+        let row = data.test_x.data()[s * per..(s + 1) * per].to_vec();
+        session.submit(daism::dnn::Tensor::from_vec(row, &[1, per]));
+    }
+    let outs = session.flush();
+    let served: usize = outs
+        .iter()
+        .zip(&data.test_y)
+        .filter(|(logits, &label)| logits.argmax_rows()[0] == label)
+        .count();
+    assert_eq!(served as f32 / n as f32, eager_bfp, "micro-batched serving accuracy diverged");
+
+    // Deployment sanity: the approximate datapaths stay close to the
+    // float baseline on the trained model.
+    let exact = train::accuracy(&mut model, &data.test_x, &data.test_y, &ExactMul);
+    assert!(eager_float > exact - 0.15, "pc3 serving {eager_float} vs exact {exact}");
+    assert!(eager_bfp > exact - 0.15, "blockfp serving {eager_bfp} vs exact {exact}");
+}
+
+#[test]
 fn paper_constants_are_internally_consistent() {
     // VGG-8 layer 1 numbers quoted throughout the paper, cross-checked
     // between crates.
